@@ -1,0 +1,25 @@
+// Ablation C: client concurrency scaling.
+//
+// Every create contends on one directory, so past a handful of outstanding
+// operations the system saturates at the lock-hold-limited rate; the sweep
+// verifies the plateau and that 1PC's advantage is already present at
+// concurrency 1 (it is a latency win, not a parallelism win).
+#include "ablation_common.h"
+
+int main() {
+  using namespace opc;
+  std::vector<benchutil::SweepPoint> points;
+  for (std::uint32_t conc : {1u, 2u, 4u, 16u, 64u, 100u, 256u, 512u}) {
+    benchutil::SweepPoint p;
+    p.label = "concurrency " + std::to_string(conc);
+    p.cfg = paper_fig6_config(ProtocolKind::kPrN);
+    p.cfg.source.concurrency = conc;
+    p.cfg.run_for = Duration::seconds(20);
+    p.cfg.warmup = Duration::seconds(4);
+    points.push_back(std::move(p));
+  }
+  return benchutil::run_protocol_sweep(
+      "Ablation C: throughput vs concurrent clients on one directory "
+      "(paper uses 100)",
+      std::move(points));
+}

@@ -1,0 +1,35 @@
+// Ablation B: log-device bandwidth sensitivity.
+//
+// The paper's 400 KB/s shared-storage figure makes forced log writes the
+// dominant cost (20 ms per 8 KiB block), which is exactly where 1PC's
+// fewer-critical-writes design pays.  Faster devices shrink every
+// protocol's write cost; once the network round trip rivals the write
+// time, the gap narrows — the sweep shows where.
+#include "ablation_common.h"
+
+int main() {
+  using namespace opc;
+  struct Bw {
+    double bytes_per_second;
+    const char* label;
+  };
+  const Bw sweeps[] = {
+      {100.0 * 1024, "100 KB/s"},  {400.0 * 1024, "400 KB/s (paper)"},
+      {1600.0 * 1024, "1.6 MB/s"}, {6400.0 * 1024, "6.4 MB/s"},
+      {25.0 * 1024 * 1024, "25 MB/s"}, {100.0 * 1024 * 1024, "100 MB/s"},
+  };
+  std::vector<benchutil::SweepPoint> points;
+  for (const Bw& bw : sweeps) {
+    benchutil::SweepPoint p;
+    p.label = std::string("log device ") + bw.label;
+    p.cfg = paper_fig6_config(ProtocolKind::kPrN);
+    p.cfg.cluster.disk.bytes_per_second = bw.bytes_per_second;
+    p.cfg.run_for = Duration::seconds(20);
+    p.cfg.warmup = Duration::seconds(4);
+    points.push_back(std::move(p));
+  }
+  return benchutil::run_protocol_sweep(
+      "Ablation B: throughput vs log-device bandwidth "
+      "(Fig. 6 workload otherwise)",
+      std::move(points));
+}

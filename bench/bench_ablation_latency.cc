@@ -1,0 +1,25 @@
+// Ablation A: network latency sensitivity.
+//
+// The paper's setting (100 µs, 400 KB/s logs) is disk-dominated, so the
+// protocols' message-count differences barely move throughput.  As latency
+// approaches the forced-write cost, the message savings of EP and 1PC
+// become visible in the throughput gap — this sweep locates that crossover.
+#include "ablation_common.h"
+
+int main() {
+  using namespace opc;
+  std::vector<benchutil::SweepPoint> points;
+  for (std::int64_t us : {10LL, 100LL, 1000LL, 5000LL, 20000LL}) {
+    benchutil::SweepPoint p;
+    p.label = "net latency " + to_string(Duration::micros(us));
+    p.cfg = paper_fig6_config(ProtocolKind::kPrN);
+    p.cfg.cluster.net.latency = Duration::micros(us);
+    p.cfg.run_for = Duration::seconds(20);
+    p.cfg.warmup = Duration::seconds(4);
+    points.push_back(std::move(p));
+  }
+  return benchutil::run_protocol_sweep(
+      "Ablation A: throughput vs one-way network latency "
+      "(Fig. 6 workload otherwise)",
+      std::move(points));
+}

@@ -1,0 +1,87 @@
+// Quickstart: the smallest complete use of the library.
+//
+// Builds a two-MDS cluster on the paper's parameters, performs one
+// distributed CREATE and one distributed DELETE with the One Phase Commit
+// protocol, and shows what the protocol actually did (the full event
+// trace) plus proof that both servers agree.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "mds/namespace.h"
+
+int main() {
+  using namespace opc;
+
+  // 1. A simulator plus shared observability objects.
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(/*enabled=*/true);
+
+  // 2. Two metadata servers over a 100 us network with 400 KB/s log
+  //    devices on shared storage — the paper's evaluation substrate.
+  ClusterConfig cfg;
+  cfg.n_nodes = 2;
+  cfg.protocol = ProtocolKind::kOnePC;
+  Cluster cluster(sim, cfg, stats, trace);
+
+  // 3. A namespace: the directory lives on mds0, new files' inodes on mds1,
+  //    so every CREATE/DELETE is a two-server distributed transaction.
+  IdAllocator ids;
+  const ObjectId home_dir = ids.next();
+  PinnedPartitioner placement(2, NodeId(1));
+  placement.assign(home_dir, NodeId(0));
+  cluster.bootstrap_directory(home_dir, NodeId(0));
+  NamespacePlanner planner(placement, OpCosts{});
+
+  // 4. CREATE /home/paper.pdf.
+  const ObjectId inode = ids.next();
+  cluster.submit(planner.plan_create(home_dir, "paper.pdf", inode, false),
+                 [&](TxnId id, TxnOutcome outcome) {
+                   std::printf("client: CREATE paper.pdf -> %s (txn %llu, "
+                               "t=%s)\n",
+                               outcome == TxnOutcome::kCommitted ? "committed"
+                                                                 : "aborted",
+                               static_cast<unsigned long long>(id),
+                               to_string(sim.now()).c_str());
+                 });
+  sim.run();
+
+  // 5. Both servers agree, durably.
+  std::printf("mds0 dentry:  paper.pdf -> inode %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.store(NodeId(0))
+                      .stable_lookup(home_dir, "paper.pdf")
+                      .value()
+                      .value()));
+  std::printf("mds1 inode:   nlink=%u\n",
+              cluster.store(NodeId(1)).stable_inode(inode)->nlink);
+
+  // 6. DELETE it again.
+  cluster.submit(planner.plan_delete(home_dir, "paper.pdf", inode),
+                 [&](TxnId, TxnOutcome outcome) {
+                   std::printf("client: DELETE paper.pdf -> %s (t=%s)\n",
+                               outcome == TxnOutcome::kCommitted ? "committed"
+                                                                 : "aborted",
+                               to_string(sim.now()).c_str());
+                 });
+  sim.run();
+
+  std::printf("after delete: dentry %s, inode %s\n",
+              cluster.store(NodeId(0)).stable_lookup(home_dir, "paper.pdf")
+                      .has_value()
+                  ? "still there (BUG)"
+                  : "gone",
+              cluster.store(NodeId(1)).stable_inode(inode).has_value()
+                  ? "still there (BUG)"
+                  : "gone");
+
+  const auto violations = cluster.check_invariants({home_dir});
+  std::printf("namespace invariants: %s\n\n",
+              violations.empty() ? "clean" : "VIOLATED");
+
+  // 7. What actually happened, event by event.
+  std::printf("--- full event trace ---\n%s", trace.render().c_str());
+  return violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,30 @@
+// Engine tuning knobs.
+#pragma once
+
+#include "sim/time.h"
+
+namespace opc {
+
+struct AcpConfig {
+  /// Lock wait budget before a participant vetoes / a coordinator aborts
+  /// (paper §II-B's deadlock handling).  zero() disables: waiters queue
+  /// indefinitely — the right setting for the contention benchmarks, where
+  /// FIFO queues are deadlock-free and very deep.
+  Duration lock_timeout = Duration::zero();
+
+  /// How long the coordinator waits for a worker response before acting
+  /// (abort for the 2PC family; fencing recovery for 1PC).  zero() disables.
+  Duration response_timeout = Duration::zero();
+
+  /// Resend interval for decisions/queries that need retrying (COMMIT or
+  /// ABORT awaiting ACK, DECISION_REQ, ACK_REQ).
+  Duration retry_interval = Duration::millis(200);
+
+  /// WAL footprint of plain state records (STARTED, PREPARED, COMMITTED...).
+  std::uint64_t state_record_bytes = 512;
+
+  /// Fixed part of the REDO record's footprint (ops payload adds to it).
+  std::uint64_t redo_record_bytes = 512;
+};
+
+}  // namespace opc

@@ -1,0 +1,253 @@
+// The per-MDS atomic-commitment engine.
+//
+// One AcpEngine runs on every metadata server and plays both roles —
+// coordinator for transactions submitted to this node, worker for
+// transactions coordinated elsewhere — for all four protocols (PrN, PrC,
+// EP, 1PC).  The normal-case message/logging choreography lives in
+// engine.cc; crash recovery, decision retry and the 1PC fencing path live
+// in engine_recovery.cc.  DESIGN.md §4 tabulates the per-protocol costs the
+// engine is instrumented to reproduce.
+//
+// Concurrency model: the engine is a set of event callbacks over the
+// deterministic simulator — no threads, no blocking.  Every wait (lock
+// grant, disk durability, message arrival, timeout) is a continuation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "acp/config.h"
+#include "acp/messages.h"
+#include "acp/protocol.h"
+#include "acp/services.h"
+#include "lock/lock_manager.h"
+#include "mds/store.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "stats/histogram.h"
+#include "txn/serializability.h"
+#include "wal/log_writer.h"
+
+namespace opc {
+
+class AcpEngine {
+ public:
+  /// Client completion callback: outcome of a submitted transaction.
+  using ClientCallback = std::function<void(TxnId, TxnOutcome)>;
+
+  AcpEngine(Simulator& sim, NodeId self, ProtocolKind proto, AcpConfig cfg,
+            Network& net, LogWriter& wal, LockManager& locks, MetaStore& store,
+            SharedStorage& storage, StatsRegistry& stats, TraceRecorder& trace,
+            FencingService* fencing = nullptr,
+            HistoryRecorder* history = nullptr);
+
+  AcpEngine(const AcpEngine&) = delete;
+  AcpEngine& operator=(const AcpEngine&) = delete;
+
+  /// Submits a transaction with this node as coordinator (participants[0]
+  /// must be this node).  Assigns and returns the transaction id.  The
+  /// callback fires exactly once in the normal case; if this node crashes
+  /// mid-transaction it may never fire (the client's timeout problem, by
+  /// design).  While recovery is in progress, submissions queue behind the
+  /// re-driven transactions (paper §III-D ordering rule).
+  TxnId submit(Transaction txn, ClientCallback cb);
+
+  /// Network ingress; the cluster attaches this to the Network.
+  void on_message(Envelope env);
+
+  /// Crash: all volatile protocol state (transactions in flight, timers,
+  /// locks, caches, lazy log buffer) evaporates.
+  void crash();
+
+  /// Reboot-time recovery: scans this node's log partition and re-drives
+  /// every unfinished transaction per the protocol's recovery rules.
+  /// `on_done` fires when the scan completes and queued submissions drain.
+  void recover(std::function<void()> on_done = nullptr);
+
+  /// Failure-detector hint: `peer` is suspected dead.  Triggers the 1PC
+  /// fencing recovery for transactions blocked on that worker, and makes
+  /// new transactions against it fail fast (safe: nothing was sent yet).
+  void suspect(NodeId peer);
+
+  /// Failure-detector all-clear: heartbeats from `peer` resumed.
+  void clear_suspicion(NodeId peer) { suspected_.erase(peer); }
+
+  // --- Introspection (tests, benches) ---
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] ProtocolKind protocol() const { return proto_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] std::size_t active_coordinations() const {
+    return coord_.size();
+  }
+  [[nodiscard]] std::size_t active_participations() const {
+    return work_.size();
+  }
+  [[nodiscard]] std::optional<TxnOutcome> outcome_of(TxnId txn) const;
+  [[nodiscard]] const Histogram& client_latency() const { return latency_; }
+  [[nodiscard]] std::uint64_t committed_count() const { return committed_; }
+  [[nodiscard]] std::uint64_t aborted_count() const { return aborted_; }
+
+ private:
+  // ---- per-transaction coordinator state ----
+  enum class CoordPhase : std::uint8_t {
+    kLocking,
+    kForcingStart,
+    kUpdating,        // local updates + waiting for workers' UPDATED
+    kVoting,          // PrN/PrC: PREPARE round outstanding
+    kForcingCommit,
+    kWaitingAcks,     // PrN commit / any-protocol abort: ACKs outstanding
+    kDone,
+  };
+  struct CoordTxn {
+    Transaction txn;
+    ProtocolKind proto;
+    ClientCallback cb;
+    CoordPhase phase = CoordPhase::kLocking;
+    std::vector<ObjectId> lock_objs;
+    std::size_t locks_granted = 0;
+    std::set<std::uint32_t> updated;   // workers that answered UPDATED
+    std::set<std::uint32_t> prepared;  // workers that voted PREPARED
+    std::set<std::uint32_t> acked;
+    bool own_prepare_durable = false;
+    bool started_durable = false;
+    bool mem_committed = false;
+    bool replied = false;
+    bool aborting = false;
+    bool recovered = false;   // re-driven by reboot recovery
+    bool fencing = false;     // 1PC recovery against the worker in progress
+    bool reqs_sent = false;   // UPDATE_REQs actually left this node
+    SimTime submitted;
+    EventHandle response_timer;
+    EventHandle retry_timer;
+  };
+
+  // ---- per-transaction worker state ----
+  enum class WorkPhase : std::uint8_t {
+    kLocking,
+    kUpdating,
+    kUpdated,    // PrN/PrC: updates done, voting phase not yet started
+    kPrepared,   // waiting for the decision
+    kCommitted,  // 1PC: waiting for ACK
+    kDone,
+  };
+  struct WorkTxn {
+    TxnId id = 0;
+    NodeId coord;
+    ProtocolKind proto = ProtocolKind::kPrN;
+    std::vector<Operation> ops;
+    WorkPhase phase = WorkPhase::kLocking;
+    std::vector<ObjectId> lock_objs;
+    std::size_t locks_granted = 0;
+    bool prepare_on_update = false;  // EP
+    bool commit_on_update = false;   // 1PC
+    bool recovered = false;          // reconstructed from the log on reboot
+    EventHandle retry_timer;
+  };
+
+  // ---- coordinator path (engine.cc) ----
+  void start_coordination(CoordTxn& ct);
+  void acquire_next_lock(TxnId id);
+  void force_started(TxnId id);
+  void run_local_updates(TxnId id);
+  void send_update_reqs(TxnId id);
+  void on_updated(TxnId id, const Msg& m);
+  void enter_voting(TxnId id);
+  void maybe_commit(TxnId id);
+  void on_commit_durable(TxnId id);
+  void on_all_acked(TxnId id);
+  void abort_coordination(TxnId id, const std::string& why);
+  void finish_coordination(TxnId id, TxnOutcome outcome);
+  void reply_client(CoordTxn& ct, TxnOutcome outcome);
+  void arm_response_timer(TxnId id);
+  void on_response_timeout(TxnId id);
+
+  // ---- worker path (engine.cc) ----
+  void worker_handle_update_req(const Msg& m);
+  void worker_acquire_next_lock(TxnId id);
+  void worker_run_updates(TxnId id);
+  void worker_after_updates(TxnId id);
+  void worker_prepare(TxnId id, bool also_reply_updated);
+  void worker_commit(TxnId id, bool forced_record, bool reply_updated);
+  void worker_handle_prepare_req(const Msg& m);
+  void worker_handle_commit(const Msg& m);
+  void worker_handle_abort(const Msg& m);
+  void worker_veto(TxnId id, MsgType reply_type, const std::string& why);
+
+  // ---- recovery (engine_recovery.cc) ----
+  void recover_from_records(const std::vector<LogRecord>& records,
+                            std::function<void()> on_done);
+  void recover_coordinator_txn(TxnId id, const std::vector<LogRecord>& recs);
+  void recover_worker_txn(TxnId id, const std::vector<LogRecord>& recs);
+  void redrive_transaction(Transaction txn);
+  void start_fencing_recovery(TxnId id);
+  void on_worker_log_batch(NodeId worker,
+                           const std::vector<LogRecord>& records);
+  void on_worker_log_read(TxnId id, NodeId worker,
+                          const std::vector<LogRecord>& records);
+  void handle_decision_req(const Msg& m);
+  void handle_decision(const Msg& m);
+  void handle_ack_req(const Msg& m);
+  void maybe_finish_recovery();
+  void arm_worker_retry(TxnId id, MsgType ask);
+
+  // ---- shared helpers ----
+  void send(NodeId to, Msg m, bool extra, bool critical);
+  void send_decision_round(CoordTxn& ct, MsgType type);
+  [[nodiscard]] LogRecord state_record(RecordType t, TxnId txn) const;
+  [[nodiscard]] LogRecord update_record(TxnId txn,
+                                        const std::vector<Operation>& ops) const;
+  [[nodiscard]] static LockMode mode_for(const std::vector<Operation>& ops,
+                                         ObjectId obj);
+  [[nodiscard]] std::vector<ObjectId> sorted_objects(
+      const std::vector<Operation>& ops) const;
+  void record_accesses(TxnId txn, const std::vector<Operation>& ops);
+  [[nodiscard]] TxnId make_txn_id();
+  [[nodiscard]] CoordTxn* coord_of(TxnId id);
+  [[nodiscard]] WorkTxn* work_of(TxnId id);
+  void run_local_fastpath(TxnId id);
+
+  Simulator& sim_;
+  NodeId self_;
+  ProtocolKind proto_;
+  AcpConfig cfg_;
+  Network& net_;
+  LogWriter& wal_;
+  LockManager& locks_;
+  MetaStore& store_;
+  SharedStorage& storage_;
+  StatsRegistry& stats_;
+  TraceRecorder& trace_;
+  FencingService* fencing_;
+  HistoryRecorder* history_;
+
+  bool crashed_ = false;
+  bool recovering_ = false;  // until every recovered txn reaches a decision
+  bool scanning_ = false;    // until the reboot log scan has been processed
+  std::deque<Envelope> deferred_msgs_;  // arrived while scanning
+  std::size_t recovery_outstanding_ = 0;
+  std::function<void()> recovery_done_cb_;
+  std::uint64_t next_local_txn_ = 0;
+  std::uint64_t crash_epoch_ = 0;
+
+  std::unordered_map<TxnId, CoordTxn> coord_;
+  std::unordered_map<TxnId, WorkTxn> work_;
+  std::unordered_map<TxnId, TxnOutcome> finished_;
+  std::deque<std::pair<Transaction, ClientCallback>> queued_submissions_;
+  std::unordered_set<NodeId> suspected_;
+  // Fencing recoveries batched per worker: one STONITH + one log scan
+  // serves every transaction blocked on that worker.
+  std::unordered_map<NodeId, std::vector<TxnId>> fence_waiters_;
+
+  Histogram latency_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace opc

@@ -1,0 +1,598 @@
+// Crash recovery, decision retry and the 1PC fencing path (paper §II-C,
+// §III-C).  Normal-case choreography lives in engine.cc.
+#include <algorithm>
+#include <map>
+
+#include "acp/engine.h"
+#include "sim/check.h"
+
+namespace opc {
+namespace {
+
+bool is_state(RecordType t) {
+  switch (t) {
+    case RecordType::kStarted:
+    case RecordType::kPrepared:
+    case RecordType::kCommitted:
+    case RecordType::kAborted:
+    case RecordType::kEnded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<RecordType> last_state_in(const std::vector<LogRecord>& recs,
+                                        TxnId txn) {
+  std::optional<RecordType> last;
+  for (const LogRecord& r : recs) {
+    if (r.txn == txn && is_state(r.type)) last = r.type;
+  }
+  return last;
+}
+
+/// Worker-side PREPARED/COMMITTED records carry [coordinator:u32,
+/// proto:u8] so a rebooted worker knows whom to ask and how to finish.
+void parse_worker_payload(const LogRecord& rec, NodeId& coord,
+                          ProtocolKind& proto) {
+  SIM_CHECK_MSG(rec.payload.size() >= 5, "worker state record payload short");
+  std::uint32_t c = 0;
+  for (int i = 0; i < 4; ++i) {
+    c |= static_cast<std::uint32_t>(rec.payload[static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  coord = NodeId(c);
+  proto = static_cast<ProtocolKind>(rec.payload[4]);
+}
+
+}  // namespace
+
+void AcpEngine::recover(std::function<void()> on_done) {
+  SIM_CHECK_MSG(crashed_, "recover() without a preceding crash()");
+  crashed_ = false;
+  wal_.reboot();
+  recovering_ = true;
+  scanning_ = true;
+  recovery_outstanding_ = 0;
+  recovery_done_cb_ = std::move(on_done);
+  trace_.record(sim_.now(), TraceKind::kReboot, self_.str(),
+                "scanning own log");
+  stats_.add("acp.recoveries");
+  const std::uint64_t epoch = crash_epoch_;
+  storage_.read_partition(self_, self_,
+                          [this, epoch](std::vector<LogRecord> recs) {
+                            if (epoch != crash_epoch_ || crashed_) return;
+                            recover_from_records(recs, nullptr);
+                          });
+}
+
+void AcpEngine::recover_from_records(const std::vector<LogRecord>& records,
+                                     std::function<void()> /*unused*/) {
+  // Group per transaction, preserving first-appearance (== arrival) order so
+  // re-driven transactions respect the paper's §III-D ordering rule.
+  std::vector<TxnId> order;
+  std::map<TxnId, std::vector<LogRecord>> per_txn;
+  for (const LogRecord& r : records) {
+    if (r.txn == 0) continue;
+    if (!per_txn.contains(r.txn)) order.push_back(r.txn);
+    per_txn[r.txn].push_back(r);
+  }
+  for (TxnId id : order) {
+    const auto& recs = per_txn[id];
+    const bool coordinator_role = std::any_of(
+        recs.begin(), recs.end(),
+        [](const LogRecord& r) { return r.type == RecordType::kStarted; });
+    if (coordinator_role) {
+      recover_coordinator_txn(id, recs);
+    } else {
+      recover_worker_txn(id, recs);
+    }
+  }
+  // Scan done: transaction state is rebuilt, so deferred traffic can now be
+  // answered from knowledge instead of absence.
+  scanning_ = false;
+  auto deferred = std::move(deferred_msgs_);
+  deferred_msgs_.clear();
+  for (Envelope& env : deferred) on_message(std::move(env));
+  maybe_finish_recovery();
+}
+
+void AcpEngine::recover_coordinator_txn(TxnId id,
+                                        const std::vector<LogRecord>& recs) {
+  const auto state = last_state_in(recs, id);
+  SIM_CHECK(state.has_value());
+  trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
+                "coordinator log state " +
+                    std::string(record_type_name(*state)),
+                id);
+
+  // The STARTED record payload carries the whole transaction.
+  Transaction txn;
+  {
+    auto it = std::find_if(recs.begin(), recs.end(), [](const LogRecord& r) {
+      return r.type == RecordType::kStarted;
+    });
+    SIM_CHECK(it != recs.end());
+    SIM_CHECK_MSG(decode_txn(it->payload, txn),
+                  "corrupt STARTED payload");
+  }
+  const ProtocolKind proto = choose_protocol(proto_, txn.n_participants());
+
+  switch (*state) {
+    case RecordType::kEnded:
+      wal_.partition().truncate_txn(id);
+      finished_[id] = TxnOutcome::kCommitted;
+      return;
+
+    case RecordType::kStarted: {
+      if (proto == ProtocolKind::kOnePC) {
+        // Paper §III-C: re-execute from the redo record.
+        stats_.add("acp.recovery.redrive");
+        redrive_transaction(std::move(txn));
+        return;
+      }
+      // 2PC family: the updates died with the cache; abort (paper §II-C).
+      stats_.add("acp.recovery.abort_from_started");
+      if (proto == ProtocolKind::kPrA) {
+        // Presumed abort: notify once, forget immediately; workers that
+        // missed the ABORT learn the outcome from the missing log state.
+        CoordTxn tmp;
+        tmp.txn = std::move(txn);
+        tmp.proto = proto;
+        send_decision_round(tmp, MsgType::kAbort);
+        wal_.partition().truncate_txn(id);
+        finished_[id] = TxnOutcome::kAborted;
+        if (history_ != nullptr) history_->record_abort(id);
+        return;
+      }
+      CoordTxn ct;
+      ct.txn = std::move(txn);
+      ct.proto = proto;
+      ct.recovered = true;
+      ct.replied = true;  // the client connection died with the crash
+      ct.aborting = true;
+      ct.submitted = sim_.now();
+      ct.phase = CoordPhase::kWaitingAcks;
+      auto [it, ok] = coord_.emplace(id, std::move(ct));
+      SIM_CHECK(ok);
+      ++recovery_outstanding_;
+      wal_.lazy(state_record(RecordType::kAborted, id),
+                WriteTag{"abort", false});
+      if (history_ != nullptr) history_->record_abort(id);
+      send_decision_round(it->second, MsgType::kAbort);
+      arm_response_timer(id);
+      return;
+    }
+
+    case RecordType::kPrepared: {
+      // Resume the protocol: re-collect votes, then commit normally.  The
+      // cached local updates are gone; on_commit_durable() replays them
+      // from the transaction body (ct.recovered selects the replay path).
+      stats_.add("acp.recovery.resume_from_prepared");
+      CoordTxn ct;
+      ct.txn = std::move(txn);
+      ct.proto = proto;
+      ct.recovered = true;
+      ct.replied = true;
+      ct.started_durable = true;
+      ct.own_prepare_durable = true;
+      ct.submitted = sim_.now();
+      ct.phase = CoordPhase::kLocking;
+      ct.lock_objs = sorted_objects(ct.txn.participants.front().ops);
+      auto [it, ok] = coord_.emplace(id, std::move(ct));
+      SIM_CHECK(ok);
+      (void)it;
+      ++recovery_outstanding_;
+      acquire_next_lock(id);  // -> enter_voting once re-locked
+      return;
+    }
+
+    case RecordType::kCommitted: {
+      stats_.add("acp.recovery.resume_from_committed");
+      // COMMITTED durable implies the stable apply already ran (they share
+      // one event) and the locks were released; only the decision
+      // distribution can be outstanding.
+      if (proto == ProtocolKind::kOnePC) {
+        store_.replay_committed(id, txn.participants.front().ops);
+        Msg m;
+        m.type = MsgType::kAck;
+        m.txn = id;
+        m.proto = proto;
+        send(txn.worker(), std::move(m), /*extra=*/true, /*critical=*/false);
+        wal_.partition().truncate_txn(id);
+        finished_[id] = TxnOutcome::kCommitted;
+        return;
+      }
+      store_.replay_committed(id, txn.participants.front().ops);
+      if (proto == ProtocolKind::kPrC || proto == ProtocolKind::kEP) {
+        // Crash raced the post-decision cleanup; resend COMMIT once and
+        // finalize (presumed commit needs no ACKs).
+        CoordTxn tmp;
+        tmp.txn = std::move(txn);
+        tmp.proto = proto;
+        send_decision_round(tmp, MsgType::kCommit);
+        wal_.partition().truncate_txn(id);
+        finished_[id] = TxnOutcome::kCommitted;
+        return;
+      }
+      // PrN: keep resending COMMIT until every worker ACKs.
+      CoordTxn ct;
+      ct.txn = std::move(txn);
+      ct.proto = proto;
+      ct.recovered = true;
+      ct.replied = true;
+      ct.started_durable = true;
+      ct.own_prepare_durable = true;
+      ct.submitted = sim_.now();
+      ct.phase = CoordPhase::kWaitingAcks;
+      auto [it, ok] = coord_.emplace(id, std::move(ct));
+      SIM_CHECK(ok);
+      ++recovery_outstanding_;
+      send_decision_round(it->second, MsgType::kCommit);
+      arm_response_timer(id);
+      return;
+    }
+
+    case RecordType::kAborted: {
+      stats_.add("acp.recovery.resume_from_aborted");
+      CoordTxn ct;
+      ct.txn = std::move(txn);
+      ct.proto = proto;
+      ct.recovered = true;
+      ct.replied = true;
+      ct.aborting = true;
+      ct.submitted = sim_.now();
+      ct.phase = CoordPhase::kWaitingAcks;
+      auto [it, ok] = coord_.emplace(id, std::move(ct));
+      SIM_CHECK(ok);
+      ++recovery_outstanding_;
+      send_decision_round(it->second, MsgType::kAbort);
+      arm_response_timer(id);
+      return;
+    }
+
+    default:
+      SIM_CHECK_MSG(false, "unexpected coordinator log state");
+  }
+}
+
+void AcpEngine::recover_worker_txn(TxnId id,
+                                   const std::vector<LogRecord>& recs) {
+  const auto state = last_state_in(recs, id);
+  if (!state.has_value()) {
+    wal_.partition().truncate_txn(id);
+    return;
+  }
+  trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
+                "worker log state " + std::string(record_type_name(*state)),
+                id);
+
+  switch (*state) {
+    case RecordType::kPrepared: {
+      stats_.add("acp.recovery.worker_prepared");
+      NodeId coord;
+      ProtocolKind proto = ProtocolKind::kPrN;
+      auto it = std::find_if(recs.begin(), recs.end(), [](const LogRecord& r) {
+        return r.type == RecordType::kPrepared;
+      });
+      SIM_CHECK(it != recs.end());
+      parse_worker_payload(*it, coord, proto);
+
+      WorkTxn wt;
+      wt.id = id;
+      wt.coord = coord;
+      wt.proto = proto;
+      wt.recovered = true;
+      wt.phase = WorkPhase::kLocking;
+      for (const LogRecord& r : recs) {
+        if (r.type != RecordType::kUpdate) continue;
+        std::vector<Operation> ops;
+        SIM_CHECK_MSG(decode_ops(r.payload, ops), "corrupt UPDATE payload");
+        wt.ops.insert(wt.ops.end(), ops.begin(), ops.end());
+      }
+      wt.lock_objs = sorted_objects(wt.ops);
+      auto [wit, ok] = work_.emplace(id, std::move(wt));
+      SIM_CHECK(ok);
+      (void)wit;
+      // Re-protect the prepared objects, then chase the decision (paper
+      // §II-C: the worker asks the coordinator to resend it).
+      worker_acquire_next_lock(id);
+      return;
+    }
+
+    case RecordType::kCommitted: {
+      stats_.add("acp.recovery.worker_committed");
+      NodeId coord;
+      ProtocolKind proto = ProtocolKind::kPrN;
+      auto it = std::find_if(recs.begin(), recs.end(), [](const LogRecord& r) {
+        return r.type == RecordType::kCommitted;
+      });
+      SIM_CHECK(it != recs.end());
+      parse_worker_payload(*it, coord, proto);
+      finished_[id] = TxnOutcome::kCommitted;
+      if (proto == ProtocolKind::kOnePC) {
+        // Paper §III-C: ask the coordinator to resend the ACKNOWLEDGE so
+        // the log can be finalized.
+        WorkTxn wt;
+        wt.id = id;
+        wt.coord = coord;
+        wt.proto = proto;
+        wt.recovered = true;
+        wt.phase = WorkPhase::kCommitted;
+        work_.emplace(id, std::move(wt));
+        Msg m;
+        m.type = MsgType::kAckReq;
+        m.txn = id;
+        m.proto = proto;
+        send(coord, std::move(m), /*extra=*/true, /*critical=*/false);
+        arm_worker_retry(id, MsgType::kAckReq);
+        return;
+      }
+      // 2PC family: nothing to do (paper §II-C); a duplicate COMMIT will be
+      // re-ACKed from finished_.
+      wal_.partition().truncate_txn(id);
+      return;
+    }
+
+    case RecordType::kAborted:
+      finished_[id] = TxnOutcome::kAborted;
+      wal_.partition().truncate_txn(id);
+      return;
+
+    case RecordType::kEnded:
+      finished_[id] = TxnOutcome::kCommitted;
+      wal_.partition().truncate_txn(id);
+      return;
+
+    default:
+      SIM_CHECK_MSG(false, "unexpected worker log state");
+  }
+}
+
+void AcpEngine::redrive_transaction(Transaction txn) {
+  const TxnId id = txn.id;
+  CoordTxn ct;
+  ct.txn = std::move(txn);
+  ct.proto = choose_protocol(proto_, ct.txn.n_participants());
+  ct.recovered = true;
+  ct.replied = true;  // client is gone; outcome is recorded, not delivered
+  ct.submitted = sim_.now();
+  auto [it, ok] = coord_.emplace(id, std::move(ct));
+  SIM_CHECK(ok);
+  ++recovery_outstanding_;
+  start_coordination(it->second);
+}
+
+void AcpEngine::arm_worker_retry(TxnId id, MsgType ask) {
+  WorkTxn* wt = work_of(id);
+  if (wt == nullptr) return;
+  sim_.cancel(wt->retry_timer);
+  const std::uint64_t epoch = crash_epoch_;
+  wt->retry_timer =
+      sim_.schedule_after(cfg_.retry_interval, [this, id, ask, epoch] {
+        if (epoch != crash_epoch_) return;
+        WorkTxn* w = work_of(id);
+        if (w == nullptr) return;
+        Msg m;
+        m.type = ask;
+        m.txn = id;
+        m.proto = w->proto;
+        send(w->coord, std::move(m), /*extra=*/true, /*critical=*/false);
+        arm_worker_retry(id, ask);
+      });
+}
+
+void AcpEngine::suspect(NodeId peer) {
+  if (crashed_) return;
+  suspected_.insert(peer);
+  std::vector<TxnId> affected;
+  for (const auto& [id, ct] : coord_) {
+    if (ct.proto == ProtocolKind::kOnePC &&
+        ct.phase == CoordPhase::kUpdating && !ct.fencing &&
+        ct.txn.worker() == peer) {
+      affected.push_back(id);
+    }
+  }
+  for (TxnId id : affected) start_fencing_recovery(id);
+}
+
+void AcpEngine::start_fencing_recovery(TxnId id) {
+  CoordTxn* ct = coord_of(id);
+  if (ct == nullptr || ct->fencing || ct->aborting) return;
+  SIM_CHECK_MSG(fencing_ != nullptr,
+                "1PC recovery requires a fencing service");
+  ct->fencing = true;
+  sim_.cancel(ct->response_timer);
+  ct->response_timer = EventHandle{};
+  const NodeId worker = ct->txn.worker();
+  trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
+                "fencing " + worker.str() + " to read its log", id);
+
+  // Batch: one STONITH round + one log scan answers every transaction
+  // blocked on this worker.
+  auto& waiters = fence_waiters_[worker];
+  waiters.push_back(id);
+  if (waiters.size() > 1) return;
+
+  stats_.add("acp.onepc.fencing_recoveries");
+  const std::uint64_t epoch = crash_epoch_;
+  fencing_->fence_and_isolate(self_, worker, [this, worker, epoch] {
+    if (epoch != crash_epoch_ || crashed_) return;
+    storage_.read_partition(
+        self_, worker, [this, worker, epoch](std::vector<LogRecord> recs) {
+          if (epoch != crash_epoch_ || crashed_) return;
+          on_worker_log_batch(worker, recs);
+        });
+  });
+}
+
+void AcpEngine::on_worker_log_batch(NodeId worker,
+                                    const std::vector<LogRecord>& records) {
+  // The snapshot is in hand; the fenced worker may now be repaired.
+  fencing_->release(self_, worker);
+  auto it = fence_waiters_.find(worker);
+  if (it == fence_waiters_.end()) return;
+  const std::vector<TxnId> waiting = std::move(it->second);
+  fence_waiters_.erase(it);
+  for (TxnId id : waiting) on_worker_log_read(id, worker, records);
+}
+
+void AcpEngine::on_worker_log_read(TxnId id, NodeId worker,
+                                   const std::vector<LogRecord>& records) {
+  (void)worker;
+  CoordTxn* ct = coord_of(id);
+  if (ct == nullptr) return;
+  if (ct->phase != CoordPhase::kUpdating) return;  // resolved concurrently
+  ct->fencing = false;
+  const auto state = last_state_in(records, id);
+  const bool committed =
+      state.has_value() && (*state == RecordType::kCommitted ||
+                            *state == RecordType::kEnded);
+  trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
+                committed ? "fenced log shows COMMITTED -> commit"
+                          : "fenced log empty -> abort",
+                id);
+  if (committed) {
+    stats_.add("acp.onepc.fence_commit");
+    if (!ct->mem_committed) {
+      ct->mem_committed = true;
+      if (ct->recovered) {
+        store_.replay_committed(id, ct->txn.participants.front().ops);
+      } else {
+        store_.commit_mem(id);
+      }
+      locks_.release_all(id);
+      if (history_ != nullptr) history_->record_commit(id);
+      reply_client(*ct, TxnOutcome::kCommitted);
+    }
+    ct->phase = CoordPhase::kForcingCommit;
+    std::vector<LogRecord> recs;
+    recs.push_back(update_record(id, ct->txn.participants.front().ops));
+    recs.push_back(state_record(RecordType::kCommitted, id));
+    const std::uint64_t epoch = crash_epoch_;
+    wal_.force(std::move(recs), WriteTag{"commit", /*critical=*/false},
+               [this, id, epoch] {
+                 if (epoch != crash_epoch_) return;
+                 on_commit_durable(id);
+               });
+  } else {
+    stats_.add("acp.onepc.fence_abort");
+    abort_coordination(id, "fenced worker had not committed");
+  }
+}
+
+void AcpEngine::handle_decision_req(const Msg& m) {
+  const TxnId id = m.txn;
+  if (CoordTxn* ct = coord_of(id); ct != nullptr) {
+    if (ct->aborting) {
+      Msg r;
+      r.type = MsgType::kDecision;
+      r.txn = id;
+      r.proto = ct->proto;
+      r.outcome = TxnOutcome::kAborted;
+      send(m.from, std::move(r), /*extra=*/true, /*critical=*/false);
+      return;
+    }
+    if (ct->phase == CoordPhase::kWaitingAcks || ct->mem_committed) {
+      Msg r;
+      r.type = MsgType::kDecision;
+      r.txn = id;
+      r.proto = ct->proto;
+      r.outcome = TxnOutcome::kCommitted;
+      send(m.from, std::move(r), /*extra=*/true, /*critical=*/false);
+      return;
+    }
+    if (ct->phase == CoordPhase::kVoting) {
+      // A DECISION_REQ proves the worker prepared (its vote got lost).
+      ct->prepared.insert(m.from.value());
+      maybe_commit(id);
+    }
+    return;  // undecided; the worker keeps retrying
+  }
+  if (auto it = finished_.find(id); it != finished_.end()) {
+    Msg r;
+    r.type = MsgType::kDecision;
+    r.txn = id;
+    r.proto = m.proto;
+    r.outcome = it->second;
+    send(m.from, std::move(r), /*extra=*/true, /*critical=*/false);
+    return;
+  }
+  // No trace of the transaction: apply the protocol's presumption
+  // (paper §II-D: a finalized PrC log means commit; PrN presumes abort).
+  Msg r;
+  r.type = MsgType::kDecision;
+  r.txn = id;
+  r.proto = m.proto;
+  r.outcome = (m.proto == ProtocolKind::kPrN ||
+               m.proto == ProtocolKind::kPrA)
+                  ? TxnOutcome::kAborted
+                  : TxnOutcome::kCommitted;
+  stats_.add("acp.decision.presumed");
+  send(m.from, std::move(r), /*extra=*/true, /*critical=*/false);
+}
+
+void AcpEngine::handle_decision(const Msg& m) {
+  const TxnId id = m.txn;
+  WorkTxn* wt = work_of(id);
+  if (wt == nullptr || wt->phase != WorkPhase::kPrepared) return;
+  sim_.cancel(wt->retry_timer);
+  wt->retry_timer = EventHandle{};
+  if (m.outcome == TxnOutcome::kCommitted) {
+    worker_commit(id,
+                  /*forced_record=*/wt->proto == ProtocolKind::kPrN ||
+                      wt->proto == ProtocolKind::kPrA ||
+                      wt->proto == ProtocolKind::kOnePC,
+                  /*reply_updated=*/false);
+  } else {
+    SIM_CHECK_MSG(!store_.stable_applied(id),
+                  "abort decision for a transaction already stable");
+    store_.abort_txn(id);
+    locks_.release_all(id);
+    wal_.lazy(state_record(RecordType::kAborted, id),
+              WriteTag{"abort", false});
+    finished_[id] = TxnOutcome::kAborted;
+    work_.erase(id);
+  }
+}
+
+void AcpEngine::handle_ack_req(const Msg& m) {
+  const TxnId id = m.txn;
+  if (coord_of(id) != nullptr) return;  // still committing; ACK will follow
+  // Finished or forgotten: either way the worker may finalize.
+  Msg r;
+  r.type = MsgType::kAck;
+  r.txn = id;
+  r.proto = m.proto;
+  send(m.from, std::move(r), /*extra=*/true, /*critical=*/false);
+}
+
+void AcpEngine::maybe_finish_recovery() {
+  if (!recovering_ || recovery_outstanding_ > 0) return;
+  recovering_ = false;
+  trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
+                "recovery complete; draining " +
+                    std::to_string(queued_submissions_.size()) +
+                    " queued submissions");
+  auto queued = std::move(queued_submissions_);
+  queued_submissions_.clear();
+  for (auto& [txn, cb] : queued) {
+    const TxnId id = txn.id;
+    stats_.add("acp.submitted");
+    CoordTxn ct;
+    ct.txn = std::move(txn);
+    ct.proto = choose_protocol(proto_, ct.txn.n_participants());
+    ct.cb = std::move(cb);
+    ct.submitted = sim_.now();
+    auto [it, ok] = coord_.emplace(id, std::move(ct));
+    if (!ok) continue;
+    start_coordination(it->second);
+  }
+  if (recovery_done_cb_) {
+    auto cb = std::move(recovery_done_cb_);
+    recovery_done_cb_ = nullptr;
+    cb();
+  }
+}
+
+}  // namespace opc

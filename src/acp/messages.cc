@@ -1,0 +1,92 @@
+#include "acp/messages.h"
+
+namespace opc {
+
+std::string_view msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kUpdateReq: return "UPDATE_REQ";
+    case MsgType::kUpdated: return "UPDATED";
+    case MsgType::kNotUpdated: return "NOT_UPDATED";
+    case MsgType::kPrepareReq: return "PREPARE";
+    case MsgType::kPrepared: return "PREPARED";
+    case MsgType::kNotPrepared: return "NOT_PREPARED";
+    case MsgType::kCommit: return "COMMIT";
+    case MsgType::kAbort: return "ABORT";
+    case MsgType::kAck: return "ACK";
+    case MsgType::kDecisionReq: return "DECISION_REQ";
+    case MsgType::kDecision: return "DECISION";
+    case MsgType::kAckReq: return "ACK_REQ";
+  }
+  return "?";
+}
+
+std::uint64_t msg_wire_size(const Msg& m) {
+  std::uint64_t size = 128;  // headers, ids, flags
+  for (const Operation& op : m.ops) size += 40 + op.name.size();
+  return size;
+}
+
+namespace {
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+bool get_u32(const std::vector<std::uint8_t>& b, std::size_t& o, std::uint32_t& v) {
+  if (o + 4 > b.size()) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[o + i]) << (8 * i);
+  o += 4;
+  return true;
+}
+bool get_u64(const std::vector<std::uint8_t>& b, std::size_t& o, std::uint64_t& v) {
+  if (o + 8 > b.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[o + i]) << (8 * i);
+  o += 8;
+  return true;
+}
+}  // namespace
+
+void encode_txn(const Transaction& txn, std::vector<std::uint8_t>& out) {
+  put_u64(out, txn.id);
+  out.push_back(static_cast<std::uint8_t>(txn.kind));
+  put_u32(out, static_cast<std::uint32_t>(txn.participants.size()));
+  for (const Participant& p : txn.participants) {
+    put_u32(out, p.node.value());
+    std::vector<std::uint8_t> ops;
+    encode_ops(p.ops, ops);
+    put_u32(out, static_cast<std::uint32_t>(ops.size()));
+    out.insert(out.end(), ops.begin(), ops.end());
+  }
+}
+
+bool decode_txn(const std::vector<std::uint8_t>& buf, Transaction& out) {
+  std::size_t o = 0;
+  std::uint64_t id = 0;
+  if (!get_u64(buf, o, id)) return false;
+  if (o >= buf.size()) return false;
+  const auto kind = static_cast<NamespaceOpKind>(buf[o++]);
+  std::uint32_t n = 0;
+  if (!get_u32(buf, o, n)) return false;
+  out.id = id;
+  out.kind = kind;
+  out.participants.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t node = 0, len = 0;
+    if (!get_u32(buf, o, node) || !get_u32(buf, o, len)) return false;
+    if (o + len > buf.size()) return false;
+    std::vector<std::uint8_t> ops_buf(
+        buf.begin() + static_cast<std::ptrdiff_t>(o),
+        buf.begin() + static_cast<std::ptrdiff_t>(o + len));
+    o += len;
+    Participant p;
+    p.node = NodeId(node);
+    if (!decode_ops(ops_buf, p.ops)) return false;
+    out.participants.push_back(std::move(p));
+  }
+  return o == buf.size();
+}
+
+}  // namespace opc

@@ -1,0 +1,51 @@
+// Atomic commitment protocol selection.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace opc {
+
+/// The four protocols the paper evaluates (§II, §III), plus one extension:
+///   kPrN   — Two Phase Commit, "Presume Nothing" baseline.
+///   kPrC   — Presume Commit optimization (Lampson/Lomet).
+///   kEP    — Early Prepare optimization (Stamos/Cristian).
+///   kOnePC — the paper's One Phase Commit over shared logs.
+///   kPrA   — Presumed Abort (extension; the other Lampson/Lomet
+///            optimization): commits cost the same as PrN, but aborts need
+///            no log record and no acknowledgement round — absence of
+///            information *means* abort.
+enum class ProtocolKind : std::uint8_t { kPrN, kPrC, kEP, kOnePC, kPrA };
+
+[[nodiscard]] constexpr std::string_view protocol_name(ProtocolKind p) {
+  switch (p) {
+    case ProtocolKind::kPrN: return "PrN";
+    case ProtocolKind::kPrC: return "PrC";
+    case ProtocolKind::kEP: return "EP";
+    case ProtocolKind::kOnePC: return "1PC";
+    case ProtocolKind::kPrA: return "PrA";
+  }
+  return "?";
+}
+
+/// The paper's four (benches reproducing paper artifacts iterate these).
+inline constexpr ProtocolKind kAllProtocols[] = {
+    ProtocolKind::kPrN, ProtocolKind::kPrC, ProtocolKind::kEP,
+    ProtocolKind::kOnePC};
+
+/// Paper's four plus extensions (test sweeps iterate these).
+inline constexpr ProtocolKind kAllProtocolsExt[] = {
+    ProtocolKind::kPrN, ProtocolKind::kPrC, ProtocolKind::kEP,
+    ProtocolKind::kOnePC, ProtocolKind::kPrA};
+
+/// Hybrid protocol selection (DESIGN.md): 1PC is defined for transactions
+/// with exactly one worker (CREATE/DELETE).  Anything wider — RENAME can
+/// touch four MDSs — falls back to PrN, the only member of the family whose
+/// recovery narrative the paper spells out for the general case.
+[[nodiscard]] constexpr ProtocolKind choose_protocol(ProtocolKind preferred,
+                                                     std::size_t participants) {
+  if (participants <= 2) return preferred;
+  return preferred == ProtocolKind::kOnePC ? ProtocolKind::kPrN : preferred;
+}
+
+}  // namespace opc

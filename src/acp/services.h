@@ -1,0 +1,34 @@
+// Cluster services the protocol engine consumes but does not implement.
+//
+// The dependency points upward (cluster wires the implementations in), so
+// the ACP layer stays testable with in-process fakes.
+#pragma once
+
+#include <functional>
+
+#include "net/types.h"
+
+namespace opc {
+
+/// Node fencing (paper §III-A).  The 1PC recovery path MUST fence a worker
+/// before reading its log: a suspected-dead worker may merely be
+/// partitioned away, and reading a log that is still being written could
+/// split-brain the outcome.  fence_and_isolate() models STONITH: the target
+/// is power-cycled (crash now, reboot later) and its storage partition is
+/// fenced; `on_fenced` runs once the target can no longer write.
+class FencingService {
+ public:
+  virtual ~FencingService() = default;
+
+  /// Power-cycles `target` and fences its log partition; `on_fenced` runs
+  /// once the target can no longer write.  The fence (and the target's
+  /// reboot) is held until every requester releases it.
+  virtual void fence_and_isolate(NodeId requester, NodeId target,
+                                 std::function<void()> on_fenced) = 0;
+
+  /// The requester is done reading the fenced log; when the last hold
+  /// drops, the target may reboot (and will unfence itself on the way up).
+  virtual void release(NodeId requester, NodeId target) = 0;
+};
+
+}  // namespace opc

@@ -1,0 +1,78 @@
+#include "cluster/cluster.h"
+
+namespace opc {
+
+Cluster::Cluster(Simulator& sim, ClusterConfig cfg, StatsRegistry& stats,
+                 TraceRecorder& trace)
+    : sim_(sim), cfg_(cfg), stats_(stats), trace_(trace) {
+  net_ = std::make_unique<Network>(sim, cfg_.net, stats, trace, cfg_.seed);
+  storage_ = std::make_unique<SharedStorage>(sim, stats, trace);
+  fencing_ = std::make_unique<StonithController>(
+      sim, *storage_, stats, trace, cfg_.fencing,
+      [this](NodeId id) { crash_node(id); },
+      [this](NodeId id) { reboot_node(id); });
+
+  for (std::uint32_t i = 0; i < cfg_.n_nodes; ++i) {
+    const NodeId id(i);
+    LogPartition& part = storage_->add_partition(id, cfg_.disk);
+    nodes_.push_back(std::make_unique<MdsNode>(
+        sim, id, cfg_.protocol, cfg_.acp, cfg_.wal, cfg_.heartbeat, *net_,
+        *storage_, part, stats, trace, fencing_.get(),
+        cfg_.record_history ? &history_ : nullptr));
+  }
+  for (std::uint32_t i = 0; i < cfg_.n_nodes; ++i) {
+    std::vector<NodeId> peers;
+    for (std::uint32_t j = 0; j < cfg_.n_nodes; ++j) {
+      if (j != i) peers.emplace_back(j);
+    }
+    nodes_[i]->set_peers(std::move(peers));
+    nodes_[i]->start();
+  }
+}
+
+void Cluster::bootstrap_directory(ObjectId dir, NodeId home) {
+  Inode ino;
+  ino.id = dir;
+  ino.is_dir = true;
+  ino.nlink = 1;
+  node(home).store().bootstrap_inode(ino);
+}
+
+void Cluster::crash_node(NodeId id) {
+  MdsNode& n = node(id);
+  if (!n.alive()) return;
+  trace_.record(sim_.now(), TraceKind::kCrash, id.str(), "node power off");
+  n.crash();
+}
+
+void Cluster::reboot_node(NodeId id, std::function<void()> on_recovered) {
+  MdsNode& n = node(id);
+  if (n.alive()) return;
+  if (fencing_->held(id)) return;  // STONITH holds the node down
+  trace_.record(sim_.now(), TraceKind::kReboot, id.str(), "node power on");
+  n.reboot(std::move(on_recovered));
+}
+
+void Cluster::schedule_crash(NodeId id, Duration after,
+                             Duration reboot_after) {
+  sim_.schedule_after(after, [this, id, reboot_after] {
+    crash_node(id);
+    if (reboot_after > Duration::zero()) {
+      sim_.schedule_after(reboot_after, [this, id] { reboot_node(id); });
+    }
+  });
+}
+
+std::vector<const MetaStore*> Cluster::stores() const {
+  std::vector<const MetaStore*> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(&n->store());
+  return out;
+}
+
+std::vector<InvariantViolation> Cluster::check_invariants(
+    const std::vector<ObjectId>& roots) const {
+  return opc::check_invariants(stores(), roots);
+}
+
+}  // namespace opc

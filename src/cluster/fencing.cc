@@ -1,0 +1,38 @@
+#include "cluster/fencing.h"
+
+namespace opc {
+
+void StonithController::fence_and_isolate(NodeId requester, NodeId target,
+                                          std::function<void()> on_fenced) {
+  SIM_CHECK(on_fenced != nullptr);
+  stats_.add("fencing.requests");
+  trace_.record(sim_.now(), TraceKind::kFence, requester.str(),
+                "STONITH " + target.str());
+  holds_[target].insert(requester);
+  sim_.schedule_after(cfg_.fence_delay, [this, target,
+                                         on_fenced = std::move(on_fenced)] {
+    // Cut power (if the target is up — it may be merely partitioned, which
+    // is the whole point) and fence the partition; only then is the log
+    // safe to read.
+    crash_node_(target);
+    storage_.fence(target);
+    on_fenced();
+  });
+}
+
+void StonithController::release(NodeId requester, NodeId target) {
+  auto it = holds_.find(target);
+  if (it == holds_.end()) return;
+  it->second.erase(requester);
+  if (!it->second.empty()) return;
+  holds_.erase(it);
+  stats_.add("fencing.releases");
+  if (cfg_.auto_reboot) {
+    sim_.schedule_after(cfg_.reboot_delay, [this, target] {
+      if (held(target)) return;  // re-fenced meanwhile
+      reboot_node_(target);
+    });
+  }
+}
+
+}  // namespace opc

@@ -1,0 +1,68 @@
+// STONITH-style node fencing (paper §III-A).
+//
+// When a 1PC coordinator must read a suspected-dead worker's log it first
+// asks this controller to "shoot the other node in the head": the target is
+// power-cycled (crashed immediately, rebooted only after all readers
+// release it) and its storage partition is fenced so no straggling write —
+// from a merely *partitioned*, still-live worker — can land after the
+// coordinator's read.  This is exactly the split-brain hazard the paper
+// motivates: heartbeats cannot distinguish a crash from a partition, so the
+// read is only safe post-fence.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "acp/services.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "stats/counters.h"
+#include "wal/partition.h"
+
+namespace opc {
+
+struct FencingConfig {
+  /// Time for the power-cycle command to take effect (command latency plus
+  /// the window in which outstanding device writes are cut off).
+  Duration fence_delay = Duration::millis(50);
+  /// Repair time: fenced node reboots this long after the last release.
+  Duration reboot_delay = Duration::millis(500);
+  /// Whether released targets reboot automatically.
+  bool auto_reboot = true;
+};
+
+class StonithController final : public FencingService {
+ public:
+  using CrashFn = std::function<void(NodeId)>;
+  using RebootFn = std::function<void(NodeId)>;
+
+  StonithController(Simulator& sim, SharedStorage& storage,
+                    StatsRegistry& stats, TraceRecorder& trace,
+                    FencingConfig cfg, CrashFn crash_node,
+                    RebootFn reboot_node)
+      : sim_(sim), storage_(storage), stats_(stats), trace_(trace), cfg_(cfg),
+        crash_node_(std::move(crash_node)),
+        reboot_node_(std::move(reboot_node)) {}
+
+  void fence_and_isolate(NodeId requester, NodeId target,
+                         std::function<void()> on_fenced) override;
+  void release(NodeId requester, NodeId target) override;
+
+  [[nodiscard]] bool held(NodeId target) const {
+    auto it = holds_.find(target);
+    return it != holds_.end() && !it->second.empty();
+  }
+
+ private:
+  Simulator& sim_;
+  SharedStorage& storage_;
+  StatsRegistry& stats_;
+  TraceRecorder& trace_;
+  FencingConfig cfg_;
+  CrashFn crash_node_;
+  RebootFn reboot_node_;
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> holds_;
+};
+
+}  // namespace opc

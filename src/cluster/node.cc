@@ -1,0 +1,142 @@
+#include "cluster/node.h"
+
+#include "fs/rpc.h"
+
+namespace opc {
+namespace {
+constexpr const char* kHeartbeatKind = "HB";
+}
+
+MdsNode::MdsNode(Simulator& sim, NodeId id, ProtocolKind proto,
+                 AcpConfig acp_cfg, WalConfig wal_cfg, HeartbeatConfig hb_cfg,
+                 Network& net, SharedStorage& storage, LogPartition& partition,
+                 StatsRegistry& stats, TraceRecorder& trace,
+                 FencingService* fencing, HistoryRecorder* history)
+    : sim_(sim), id_(id), hb_cfg_(hb_cfg), net_(net), storage_(storage),
+      stats_(stats), trace_(trace), store_(id),
+      locks_(sim, "locks." + id.str(), stats, trace),
+      wal_(sim, id, partition, stats, trace, wal_cfg),
+      engine_(sim, id, proto, acp_cfg, net, wal_, locks_, store_, storage,
+              stats, trace, fencing, history) {}
+
+void MdsNode::start() {
+  SIM_CHECK(!alive_);
+  alive_ = true;
+  ++life_epoch_;
+  net_.attach(id_, [this](Envelope env) { on_envelope(std::move(env)); });
+  if (hb_cfg_.enabled) {
+    last_heard_.clear();
+    suspected_.clear();
+    for (NodeId p : peers_) last_heard_[p] = sim_.now();
+    schedule_heartbeat();
+    schedule_sweep();
+  }
+}
+
+void MdsNode::crash() {
+  SIM_CHECK_MSG(alive_, "crash() on a node that is already down");
+  alive_ = false;
+  ++life_epoch_;  // kills heartbeat/sweep timers at their next firing
+  net_.detach(id_);
+  engine_.crash();  // also resets locks, store cache, WAL volatile state
+  stats_.add("cluster.crashes");
+}
+
+void MdsNode::reboot(std::function<void()> on_recovered) {
+  SIM_CHECK_MSG(!alive_, "reboot() on a node that is up");
+  storage_.unfence(id_);
+  start();
+  stats_.add("cluster.reboots");
+  engine_.recover(std::move(on_recovered));
+}
+
+void MdsNode::on_envelope(Envelope env) {
+  if (!alive_) return;
+  if (env.kind == kHeartbeatKind) {
+    last_heard_[env.from] = sim_.now();
+    if (suspected_[env.from]) {
+      suspected_[env.from] = false;
+      engine_.clear_suspicion(env.from);
+    }
+    return;
+  }
+  if (env.kind == kFsRpcKind) {
+    handle_fs_rpc(env);
+    return;
+  }
+  engine_.on_message(std::move(env));
+}
+
+void MdsNode::handle_fs_rpc(const Envelope& env) {
+  const FsRpc& rpc = *std::any_cast<FsRpc>(&env.payload);
+  FsRpcReply reply;
+  reply.req_id = rpc.req_id;
+  // Reads are served from the current (mem) view — they see logically
+  // committed state, including 1PC commits whose stable flush is pending.
+  switch (rpc.op) {
+    case FsRpcOp::kLookup: {
+      const auto child = store_.mem_lookup(rpc.target, rpc.name);
+      reply.found = child.has_value();
+      if (child) reply.child = *child;
+      break;
+    }
+    case FsRpcOp::kStat: {
+      const auto ino = store_.mem_inode(rpc.target);
+      reply.found = ino.has_value();
+      if (ino) reply.inode = *ino;
+      break;
+    }
+    case FsRpcOp::kReaddir: {
+      const auto dir = store_.mem_inode(rpc.target);
+      reply.found = dir.has_value() && dir->is_dir;
+      if (reply.found) reply.entries = store_.mem_list_dir(rpc.target);
+      break;
+    }
+  }
+  stats_.add("fs.rpcs");
+  Envelope out;
+  out.from = id_;
+  out.to = env.from;
+  out.kind = kFsRpcReplyKind;
+  out.size_bytes = 128 + reply.entries.size() * 32;
+  out.payload = reply;
+  net_.send(std::move(out));
+}
+
+void MdsNode::schedule_heartbeat() {
+  const std::uint64_t epoch = life_epoch_;
+  sim_.schedule_after(hb_cfg_.interval, [this, epoch] {
+    if (epoch != life_epoch_ || !alive_) return;
+    for (NodeId p : peers_) {
+      Envelope env;
+      env.from = id_;
+      env.to = p;
+      env.kind = kHeartbeatKind;
+      env.size_bytes = 64;
+      net_.send(std::move(env));
+    }
+    schedule_heartbeat();
+  });
+}
+
+void MdsNode::schedule_sweep() {
+  const std::uint64_t epoch = life_epoch_;
+  sim_.schedule_after(hb_cfg_.interval, [this, epoch] {
+    if (epoch != life_epoch_ || !alive_) return;
+    for (NodeId p : peers_) {
+      const SimTime last = last_heard_.contains(p) ? last_heard_[p]
+                                                   : SimTime::zero();
+      const bool silent = sim_.now() - last > hb_cfg_.suspicion_timeout;
+      if (silent && !suspected_[p]) {
+        suspected_[p] = true;
+        stats_.add("cluster.suspicions");
+        trace_.record(sim_.now(), TraceKind::kInfo, id_.str(),
+                      "suspects " + p.str());
+        engine_.suspect(p);
+      }
+    }
+    schedule_sweep();
+  });
+}
+
+}  // namespace opc

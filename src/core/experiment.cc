@@ -1,0 +1,202 @@
+#include "core/experiment.h"
+
+#include <memory>
+
+namespace opc {
+namespace {
+
+/// Shared scaffolding: simulator, cluster, meter, fault injector, result
+/// collection.  Each run_* builds its own partitioner/planner/source on top.
+struct Runner {
+  explicit Runner(const ExperimentConfig& cfg)
+      : cfg_(cfg), trace_(cfg.trace), meter_() {
+    ClusterConfig cc = cfg.cluster;
+    cluster_ = std::make_unique<Cluster>(sim_, cc, stats_, trace_);
+    meter_.set_warmup_until(SimTime::zero() + cfg.warmup);
+    meter_.set_cutoff(SimTime::zero() + cfg.run_for);
+  }
+
+  void install_fault_injector() {
+    if (cfg_.crash_period <= Duration::zero()) return;
+    schedule_next_crash();
+  }
+
+  void schedule_next_crash() {
+    sim_.schedule_after(cfg_.crash_period, [this] {
+      // Alternate targets when both are enabled; NodeId(0) is always the
+      // storm coordinator by construction.
+      NodeId target;
+      if (cfg_.crash_worker && cfg_.crash_coordinator) {
+        target = NodeId(crash_toggle_ ? 0 : 1);
+        crash_toggle_ = !crash_toggle_;
+      } else if (cfg_.crash_coordinator) {
+        target = NodeId(0);
+      } else {
+        target = NodeId(1);
+      }
+      if (cluster_->node(target).alive()) {
+        cluster_->crash_node(target);
+        sim_.schedule_after(cfg_.crash_reboot_after, [this, target] {
+          cluster_->reboot_node(target);
+        });
+      }
+      schedule_next_crash();
+    });
+  }
+
+  ExperimentResult finish(ClosedLoopSource& source,
+                          const std::vector<ObjectId>& roots) {
+    sim_.run_until(SimTime::zero() + cfg_.run_for);
+    // Utilization is measured over the measurement window, before drain.
+    const double disk_busy =
+        cluster_->storage().partition(NodeId(0)).device().busy_time()
+            .to_seconds_f() /
+        cfg_.run_for.to_seconds_f();
+    source.stop();
+    // Drain until the cluster is quiescent: the invariant checker examines
+    // stable state, which is only meaningful once every in-flight
+    // transaction (including those deep in the directory-lock queue) has
+    // finished.  Capped generously; a cap hit shows up as violations.
+    const SimTime deadline =
+        SimTime::zero() + cfg_.run_for + Duration::seconds(600);
+    while (sim_.now() < deadline) {
+      bool quiescent = true;
+      for (std::uint32_t n = 0; n < cluster_->size(); ++n) {
+        AcpEngine& e = cluster_->engine(NodeId(n));
+        if (e.active_coordinations() != 0 || e.active_participations() != 0) {
+          quiescent = false;
+          break;
+        }
+      }
+      if (quiescent) break;
+      sim_.run_for(Duration::seconds(1));
+    }
+
+    ExperimentResult r;
+    r.ops_per_second =
+        meter_.events_per_second_over(cfg_.run_for - cfg_.warmup);
+    r.committed = source.committed();
+    r.aborted = source.aborted();
+    r.lost = source.lost();
+    for (std::uint32_t i = 0; i < cluster_->size(); ++i) {
+      r.latency.merge(cluster_->engine(NodeId(i)).client_latency());
+    }
+    const auto violations = cluster_->check_invariants(roots);
+    r.invariant_violations = violations.size();
+    r.violation_report = render_violations(violations);
+    if (cluster_->history() != nullptr) {
+      r.serializable = cluster_->history()->serializable();
+    }
+    r.coordinator_disk_busy = disk_busy;
+    r.trace_hash = trace_.history_hash();
+    r.stats = stats_;
+    return r;
+  }
+
+  ExperimentConfig cfg_;
+  Simulator sim_;
+  StatsRegistry stats_;
+  TraceRecorder trace_;
+  ThroughputMeter meter_;
+  std::unique_ptr<Cluster> cluster_;
+  bool crash_toggle_ = false;
+};
+
+}  // namespace
+
+ExperimentConfig paper_fig6_config(ProtocolKind proto) {
+  ExperimentConfig cfg;
+  cfg.cluster.n_nodes = 2;
+  cfg.cluster.protocol = proto;
+  cfg.cluster.net.latency = Duration::micros(100);
+  cfg.cluster.disk.bytes_per_second = 400.0 * 1024.0;
+  cfg.cluster.wal.force_pad_to = 8192;
+  cfg.source.concurrency = 100;
+  cfg.run_for = Duration::seconds(30);
+  cfg.warmup = Duration::seconds(5);
+  return cfg;
+}
+
+ExperimentResult run_create_storm(const ExperimentConfig& cfg) {
+  Runner run(cfg);
+  SIM_CHECK(cfg.cluster.n_nodes >= 2);
+  SIM_CHECK(cfg.n_directories >= 1);
+  IdAllocator ids;
+  // Hot directories on mds0, every new inode on mds1: all creates
+  // distributed, all coordinated by mds0.
+  PinnedPartitioner part(cfg.cluster.n_nodes, NodeId(1));
+  NamespacePlanner planner(part, OpCosts{});
+  std::vector<ObjectId> dirs;
+  for (std::uint32_t d = 0; d < cfg.n_directories; ++d) {
+    const ObjectId dir = ids.next();
+    part.assign(dir, NodeId(0));
+    run.cluster_->bootstrap_directory(dir, NodeId(0));
+    dirs.push_back(dir);
+  }
+
+  SourceConfig per_source = cfg.source;
+  per_source.concurrency = std::max<std::uint32_t>(
+      1, cfg.source.concurrency / cfg.n_directories);
+  std::vector<std::unique_ptr<CreateStormSource>> sources;
+  for (std::uint32_t d = 0; d < cfg.n_directories; ++d) {
+    sources.push_back(std::make_unique<CreateStormSource>(
+        run.sim_, *run.cluster_, per_source, run.meter_, run.stats_, planner,
+        ids, dirs[d], "d" + std::to_string(d) + "_"));
+  }
+  run.install_fault_injector();
+  for (auto& s : sources) s->start();
+
+  // finish() drives one source's lifecycle; stop the others alongside.
+  if (sources.size() == 1) return run.finish(*sources.front(), dirs);
+  run.sim_.run_until(SimTime::zero() + cfg.run_for);
+  for (std::size_t i = 1; i < sources.size(); ++i) sources[i]->stop();
+  ExperimentResult r = run.finish(*sources.front(), dirs);
+  for (std::size_t i = 1; i < sources.size(); ++i) {
+    r.committed += sources[i]->committed();
+    r.aborted += sources[i]->aborted();
+    r.lost += sources[i]->lost();
+  }
+  return r;
+}
+
+ExperimentResult run_batched_storm(const ExperimentConfig& cfg,
+                                   std::uint32_t batch) {
+  Runner run(cfg);
+  SIM_CHECK(cfg.cluster.n_nodes >= 2);
+  IdAllocator ids;
+  const ObjectId dir = ids.next();
+  PinnedPartitioner part(cfg.cluster.n_nodes, NodeId(1));
+  part.assign(dir, NodeId(0));
+  run.cluster_->bootstrap_directory(dir, NodeId(0));
+  NamespacePlanner planner(part, OpCosts{});
+
+  CreateStormSource source(run.sim_, *run.cluster_, cfg.source, run.meter_,
+                           run.stats_, planner, ids, dir, "b", batch);
+  run.install_fault_injector();
+  source.start();
+  ExperimentResult r = run.finish(source, {dir});
+  // The meter counts transactions; scale to namespace operations.
+  r.ops_per_second *= batch;
+  return r;
+}
+
+ExperimentResult run_mixed(const ExperimentConfig& cfg, MixedSource::Mix mix,
+                           std::uint32_t n_dirs) {
+  Runner run(cfg);
+  IdAllocator ids;
+  HashPartitioner part(cfg.cluster.n_nodes);
+  NamespacePlanner planner(part, OpCosts{});
+  std::vector<ObjectId> dirs;
+  for (std::uint32_t i = 0; i < n_dirs; ++i) {
+    const ObjectId dir = ids.next();
+    dirs.push_back(dir);
+    run.cluster_->bootstrap_directory(dir, part.home_of(dir));
+  }
+  MixedSource source(run.sim_, *run.cluster_, cfg.source, run.meter_,
+                     run.stats_, planner, ids, dirs, mix, cfg.cluster.seed);
+  run.install_fault_injector();
+  source.start();
+  return run.finish(source, dirs);
+}
+
+}  // namespace opc

@@ -1,0 +1,75 @@
+// Experiment driver: one self-contained simulation per call.
+//
+// Each run owns its Simulator, Cluster, planner and sources, making runs
+// pure functions of (config, seed) — the property the parallel sweep runner
+// (core/sweep.h) relies on to fan experiments out across threads with
+// bitwise-reproducible results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "workload/source.h"
+
+namespace opc {
+
+struct ExperimentConfig {
+  ClusterConfig cluster;
+  SourceConfig source;
+  Duration run_for = Duration::seconds(30);
+  Duration warmup = Duration::seconds(5);
+  bool trace = false;  // record the full event trace (costly; debug only)
+
+  /// Number of independent hot directories (all on the coordinator MDS).
+  /// 1 = the paper's single-directory storm; >1 removes the directory-lock
+  /// serialization so coordinator-side device contention shows (each
+  /// directory gets its own closed-loop source with concurrency/n clients).
+  std::uint32_t n_directories = 1;
+
+  /// Fault injection (ablation E): crash a node every `crash_period`
+  /// (0 = never), alternating worker/coordinator per the flags.
+  Duration crash_period = Duration::zero();
+  Duration crash_reboot_after = Duration::millis(500);
+  bool crash_worker = true;
+  bool crash_coordinator = false;
+};
+
+struct ExperimentResult {
+  double ops_per_second = 0.0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t lost = 0;
+  Histogram latency;          // client-visible commit latency
+  StatsRegistry stats;        // full counter snapshot
+  std::uint64_t trace_hash = 0;
+  std::size_t invariant_violations = 0;
+  std::string violation_report;
+  bool serializable = true;
+  double coordinator_disk_busy = 0.0;  // utilization of the hot log device
+};
+
+/// The paper's evaluation parameters (§IV): 1 µs method compute, 100 µs
+/// network latency, 400 KB/s log devices, 100 concurrent distributed
+/// creates against one MDS.  Two nodes: the hot directory's MDS
+/// (coordinator) plus the inode server (worker).
+[[nodiscard]] ExperimentConfig paper_fig6_config(ProtocolKind proto);
+
+/// Figure 6: distributed CREATE storm into one directory; every create is a
+/// two-MDS distributed transaction.
+[[nodiscard]] ExperimentResult run_create_storm(const ExperimentConfig& cfg);
+
+/// Mixed CREATE/DELETE/RENAME workload over a hash-partitioned namespace of
+/// `n_dirs` directories on a `cluster.n_nodes`-wide cluster; exercises the
+/// hybrid 1PC->PrN fallback for four-party renames.
+[[nodiscard]] ExperimentResult run_mixed(const ExperimentConfig& cfg,
+                                         MixedSource::Mix mix,
+                                         std::uint32_t n_dirs);
+
+/// Batched create storm (paper §VI future work): each transaction carries
+/// `batch` creates in the hot directory, amortizing locks, messages and
+/// forced writes.
+[[nodiscard]] ExperimentResult run_batched_storm(const ExperimentConfig& cfg,
+                                                 std::uint32_t batch);
+
+}  // namespace opc

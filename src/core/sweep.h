@@ -1,0 +1,66 @@
+// Parallel parameter sweeps.
+//
+// The simulator is single-threaded and deterministic; sweeps exploit
+// machine parallelism the share-nothing way the HPC guides recommend: each
+// job owns a complete simulation universe (its own Simulator, Cluster,
+// RNG streams), workers communicate nothing, and results land in
+// pre-allocated slots — so a sweep's output is bitwise identical to running
+// the jobs sequentially, regardless of thread count or scheduling.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace opc {
+
+class ParallelSweep {
+ public:
+  using Job = std::function<void()>;
+
+  /// Runs every job, `threads`-wide (0 = hardware concurrency).  Blocks
+  /// until all jobs complete.  Jobs must be independent: they may only
+  /// touch their own result slot.
+  static void run(std::vector<Job> jobs, unsigned threads = 0) {
+    if (jobs.empty()) return;
+    unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+    if (n > jobs.size()) n = static_cast<unsigned>(jobs.size());
+    if (n == 1) {
+      for (Job& j : jobs) j();
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t) {
+      pool.emplace_back([&jobs, &next] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= jobs.size()) return;
+          jobs[i]();
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  }
+
+  /// Maps `inputs` through `fn` in parallel; results keep input order.
+  template <typename In, typename Out>
+  static std::vector<Out> map(const std::vector<In>& inputs,
+                              std::function<Out(const In&)> fn,
+                              unsigned threads = 0) {
+    std::vector<Out> results(inputs.size());
+    std::vector<Job> jobs;
+    jobs.reserve(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      jobs.push_back([&, i] { results[i] = fn(inputs[i]); });
+    }
+    run(std::move(jobs), threads);
+    return results;
+  }
+};
+
+}  // namespace opc

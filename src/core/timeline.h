@@ -1,0 +1,34 @@
+// Single-transaction instrumentation: reproduces the paper's Figures 2-5
+// (protocol timelines) and Table I (message / log-write counts).
+#pragma once
+
+#include <string>
+
+#include "acp/protocol.h"
+#include "sim/time.h"
+#include "stats/counters.h"
+
+namespace opc {
+
+struct TimelineResult {
+  ProtocolKind proto = ProtocolKind::kPrN;
+  // Table I counters, measured from one distributed CREATE.
+  int sync_writes = 0;
+  int sync_writes_critical = 0;
+  int async_writes = 0;
+  int async_writes_critical = 0;
+  int extra_msgs = 0;           // beyond the UPDATE_REQ/UPDATED base pair
+  int extra_msgs_critical = 0;
+  // Latency shape.
+  Duration client_latency;      // request -> client reply
+  Duration txn_complete;        // request -> protocol fully finished
+  // Rendered two-column message sequence chart.
+  std::string chart;
+};
+
+/// Runs exactly one distributed CREATE (coordinator mds0, worker mds1)
+/// under `proto` with the paper's cost parameters and full tracing, and
+/// extracts the Table I counters plus a rendered timeline.
+[[nodiscard]] TimelineResult run_single_create(ProtocolKind proto);
+
+}  // namespace opc

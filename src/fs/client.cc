@@ -1,0 +1,355 @@
+#include "fs/client.h"
+
+#include <utility>
+
+namespace opc {
+
+const char* fs_status_name(FsStatus s) {
+  switch (s) {
+    case FsStatus::kOk: return "Ok";
+    case FsStatus::kNotFound: return "NotFound";
+    case FsStatus::kExists: return "Exists";
+    case FsStatus::kNotADirectory: return "NotADirectory";
+    case FsStatus::kNotEmpty: return "NotEmpty";
+    case FsStatus::kInvalidPath: return "InvalidPath";
+    case FsStatus::kAborted: return "Aborted";
+    case FsStatus::kUnreachable: return "Unreachable";
+  }
+  return "?";
+}
+
+FsClient::FsClient(Simulator& sim, Cluster& cluster, NamespacePlanner& planner,
+                   IdAllocator& ids, ObjectId root, NodeId client_id,
+                   FsClientConfig cfg)
+    : sim_(sim), cluster_(cluster), planner_(planner), ids_(ids), root_(root),
+      id_(client_id), cfg_(cfg) {
+  SIM_CHECK_MSG(client_id.value() >= cluster.size(),
+                "client id collides with an MDS id");
+  cluster_.network().attach(id_,
+                            [this](Envelope env) { on_envelope(std::move(env)); });
+}
+
+FsClient::~FsClient() { cluster_.network().detach(id_); }
+
+bool FsClient::split_path(const std::string& path,
+                          std::vector<std::string>& out) {
+  out.clear();
+  if (path.empty() || path.front() != '/') return false;
+  std::size_t i = 1;
+  while (i < path.size()) {
+    const std::size_t next = path.find('/', i);
+    const std::size_t end = next == std::string::npos ? path.size() : next;
+    if (end == i) return false;  // empty component ("//")
+    out.push_back(path.substr(i, end - i));
+    i = end + 1;
+  }
+  if (!path.empty() && path.back() == '/' && path.size() > 1) return false;
+  return true;
+}
+
+void FsClient::on_envelope(Envelope env) {
+  if (env.kind != kFsRpcReplyKind) return;  // not for this layer
+  const FsRpcReply& reply = *std::any_cast<FsRpcReply>(&env.payload);
+  auto it = pending_.find(reply.req_id);
+  if (it == pending_.end()) return;  // timed out earlier
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  sim_.cancel(p.timer);
+  p.cb(true, reply);
+}
+
+void FsClient::send_rpc(NodeId to, FsRpc rpc,
+                        std::function<void(bool, FsRpcReply)> cb) {
+  rpc.req_id = next_req_++;
+  const std::uint64_t req = rpc.req_id;
+  Pending p;
+  p.cb = std::move(cb);
+  if (cfg_.rpc_timeout > Duration::zero()) {
+    p.timer = sim_.schedule_after(cfg_.rpc_timeout, [this, req] {
+      auto it = pending_.find(req);
+      if (it == pending_.end()) return;
+      Pending dead = std::move(it->second);
+      pending_.erase(it);
+      dead.cb(false, FsRpcReply{});
+    });
+  }
+  pending_.emplace(req, std::move(p));
+
+  Envelope env;
+  env.from = id_;
+  env.to = to;
+  env.kind = kFsRpcKind;
+  env.size_bytes = 96 + rpc.name.size();
+  env.payload = std::move(rpc);
+  cluster_.network().send(std::move(env));
+}
+
+void FsClient::resolve_components(std::vector<std::string> components,
+                                  std::size_t index, ObjectId current,
+                                  ResolveCb cb) {
+  if (index == components.size()) {
+    cb(FsStatus::kOk, current);
+    return;
+  }
+  if (cfg_.dentry_cache_ttl > Duration::zero()) {
+    auto it = dentry_cache_.find({current, components[index]});
+    if (it != dentry_cache_.end()) {
+      if (sim_.now() - it->second.cached_at <= cfg_.dentry_cache_ttl) {
+        ++cache_hits_;
+        resolve_components(std::move(components), index + 1,
+                           it->second.child, std::move(cb));
+        return;
+      }
+      dentry_cache_.erase(it);  // expired
+    }
+    ++cache_misses_;
+  }
+  FsRpc rpc;
+  rpc.op = FsRpcOp::kLookup;
+  rpc.target = current;
+  rpc.name = components[index];
+  const NodeId home = planner_.partitioner().home_of(current);
+  send_rpc(home, std::move(rpc),
+           [this, components = std::move(components), index, current,
+            cb = std::move(cb)](bool delivered, FsRpcReply reply) mutable {
+             if (!delivered) {
+               cb(FsStatus::kUnreachable, kNoObject);
+               return;
+             }
+             if (!reply.found) {
+               cb(FsStatus::kNotFound, kNoObject);
+               return;
+             }
+             if (cfg_.dentry_cache_ttl > Duration::zero()) {
+               dentry_cache_[{current, components[index]}] =
+                   CachedDentry{reply.child, sim_.now()};
+             }
+             resolve_components(std::move(components), index + 1, reply.child,
+                                std::move(cb));
+           });
+}
+
+void FsClient::resolve(const std::string& path, ResolveCb cb) {
+  std::vector<std::string> components;
+  if (!split_path(path, components)) {
+    cb(FsStatus::kInvalidPath, kNoObject);
+    return;
+  }
+  resolve_components(std::move(components), 0, root_, std::move(cb));
+}
+
+void FsClient::resolve_parent(
+    const std::string& path,
+    std::function<void(FsStatus, ObjectId, std::string)> cb) {
+  std::vector<std::string> components;
+  if (!split_path(path, components) || components.empty()) {
+    cb(FsStatus::kInvalidPath, kNoObject, "");
+    return;
+  }
+  std::string leaf = components.back();
+  components.pop_back();
+  resolve_components(
+      std::move(components), 0, root_,
+      [cb = std::move(cb), leaf = std::move(leaf)](FsStatus st,
+                                                   ObjectId parent) {
+        cb(st, parent, leaf);
+      });
+}
+
+void FsClient::invalidate(const std::string& path) {
+  std::vector<std::string> components;
+  if (!split_path(path, components)) return;
+  ObjectId current = root_;
+  for (const std::string& name : components) {
+    auto it = dentry_cache_.find({current, name});
+    if (it == dentry_cache_.end()) break;
+    const ObjectId next = it->second.child;
+    dentry_cache_.erase(it);
+    current = next;
+  }
+}
+
+FsClient::StatusCb FsClient::with_staleness_retry(const std::string& path,
+                                                  StatusCb cb) {
+  if (cfg_.dentry_cache_ttl <= Duration::zero()) return cb;
+  return [this, path, cb = std::move(cb)](FsStatus st) {
+    // A failure may stem from stale cached dentries; drop them so the
+    // caller's retry resolves fresh state.
+    if (st == FsStatus::kAborted || st == FsStatus::kNotFound) {
+      invalidate(path);
+    }
+    cb(st);
+  };
+}
+
+void FsClient::submit_txn(Transaction txn, StatusCb cb) {
+  cluster_.submit(std::move(txn),
+                  [cb = std::move(cb)](TxnId, TxnOutcome outcome) {
+                    cb(outcome == TxnOutcome::kCommitted ? FsStatus::kOk
+                                                         : FsStatus::kAborted);
+                  });
+}
+
+void FsClient::create_node(const std::string& path, bool is_dir,
+                           StatusCb raw_cb) {
+  StatusCb cb = with_staleness_retry(path, std::move(raw_cb));
+  resolve_parent(path, [this, is_dir, cb = std::move(cb)](
+                           FsStatus st, ObjectId parent, std::string leaf) {
+    if (st != FsStatus::kOk) {
+      cb(st);
+      return;
+    }
+    // Existence pre-check (cheap fail with a crisp status; the commit
+    // machinery still validates authoritatively under the lock).
+    FsRpc probe;
+    probe.op = FsRpcOp::kLookup;
+    probe.target = parent;
+    probe.name = leaf;
+    send_rpc(planner_.partitioner().home_of(parent), std::move(probe),
+             [this, is_dir, parent, leaf, cb = std::move(cb)](
+                 bool delivered, FsRpcReply reply) {
+               if (!delivered) {
+                 cb(FsStatus::kUnreachable);
+                 return;
+               }
+               if (reply.found) {
+                 cb(FsStatus::kExists);
+                 return;
+               }
+               submit_txn(planner_.plan_create(parent, leaf, ids_.next(),
+                                               is_dir, ids_.peek()),
+                          std::move(cb));
+             });
+  });
+}
+
+void FsClient::unlink(const std::string& path, StatusCb raw_cb) {
+  StatusCb cb = with_staleness_retry(path, std::move(raw_cb));
+  resolve_parent(path, [this, cb = std::move(cb)](FsStatus st, ObjectId parent,
+                                                  std::string leaf) {
+    if (st != FsStatus::kOk) {
+      cb(st);
+      return;
+    }
+    FsRpc probe;
+    probe.op = FsRpcOp::kLookup;
+    probe.target = parent;
+    probe.name = leaf;
+    send_rpc(planner_.partitioner().home_of(parent), std::move(probe),
+             [this, parent, leaf, cb = std::move(cb)](bool delivered,
+                                                      FsRpcReply reply) {
+               if (!delivered) {
+                 cb(FsStatus::kUnreachable);
+                 return;
+               }
+               if (!reply.found) {
+                 cb(FsStatus::kNotFound);
+                 return;
+               }
+               submit_txn(planner_.plan_delete(parent, leaf, reply.child),
+                          std::move(cb));
+             });
+  });
+}
+
+void FsClient::rename(const std::string& from, const std::string& to,
+                      StatusCb raw_cb) {
+  StatusCb cb = with_staleness_retry(
+      from, with_staleness_retry(to, std::move(raw_cb)));
+  resolve_parent(from, [this, to, cb = std::move(cb)](
+                           FsStatus st, ObjectId src_dir, std::string src) {
+    if (st != FsStatus::kOk) {
+      cb(st);
+      return;
+    }
+    FsRpc probe;
+    probe.op = FsRpcOp::kLookup;
+    probe.target = src_dir;
+    probe.name = src;
+    send_rpc(
+        planner_.partitioner().home_of(src_dir), std::move(probe),
+        [this, to, src_dir, src, cb = std::move(cb)](bool delivered,
+                                                     FsRpcReply reply) {
+          if (!delivered) {
+            cb(FsStatus::kUnreachable);
+            return;
+          }
+          if (!reply.found) {
+            cb(FsStatus::kNotFound);
+            return;
+          }
+          const ObjectId moved = reply.child;
+          resolve_parent(to, [this, src_dir, src, moved, cb = std::move(cb)](
+                                 FsStatus st2, ObjectId dst_dir,
+                                 std::string dst) {
+            if (st2 != FsStatus::kOk) {
+              cb(st2);
+              return;
+            }
+            FsRpc probe2;
+            probe2.op = FsRpcOp::kLookup;
+            probe2.target = dst_dir;
+            probe2.name = dst;
+            send_rpc(planner_.partitioner().home_of(dst_dir), std::move(probe2),
+                     [this, src_dir, src, moved, dst_dir, dst,
+                      cb = std::move(cb)](bool delivered2, FsRpcReply r2) {
+                       if (!delivered2) {
+                         cb(FsStatus::kUnreachable);
+                         return;
+                       }
+                       std::optional<ObjectId> overwritten;
+                       if (r2.found) overwritten = r2.child;
+                       submit_txn(planner_.plan_rename(src_dir, src, dst_dir,
+                                                       dst, moved, overwritten),
+                                  std::move(cb));
+                     });
+          });
+        });
+  });
+}
+
+void FsClient::stat(const std::string& path, StatCb cb) {
+  resolve(path, [this, cb = std::move(cb)](FsStatus st, ObjectId obj) {
+    if (st != FsStatus::kOk) {
+      cb(st, Inode{});
+      return;
+    }
+    FsRpc rpc;
+    rpc.op = FsRpcOp::kStat;
+    rpc.target = obj;
+    send_rpc(planner_.partitioner().home_of(obj), std::move(rpc),
+             [cb = std::move(cb)](bool delivered, FsRpcReply reply) {
+               if (!delivered) {
+                 cb(FsStatus::kUnreachable, Inode{});
+               } else if (!reply.found) {
+                 cb(FsStatus::kNotFound, Inode{});
+               } else {
+                 cb(FsStatus::kOk, reply.inode);
+               }
+             });
+  });
+}
+
+void FsClient::readdir(const std::string& path, ReaddirCb cb) {
+  resolve(path, [this, cb = std::move(cb)](FsStatus st, ObjectId obj) {
+    if (st != FsStatus::kOk) {
+      cb(st, {});
+      return;
+    }
+    FsRpc rpc;
+    rpc.op = FsRpcOp::kReaddir;
+    rpc.target = obj;
+    send_rpc(planner_.partitioner().home_of(obj), std::move(rpc),
+             [cb = std::move(cb)](bool delivered, FsRpcReply reply) {
+               if (!delivered) {
+                 cb(FsStatus::kUnreachable, {});
+               } else if (!reply.found) {
+                 cb(FsStatus::kNotADirectory, {});
+               } else {
+                 cb(FsStatus::kOk, std::move(reply.entries));
+               }
+             });
+  });
+}
+
+}  // namespace opc

@@ -1,0 +1,154 @@
+// Path-based file-system client.
+//
+// The layer a real application would code against: absolute paths in,
+// namespace operations out.  Each operation
+//
+//   1. resolves the path one component at a time with lookup RPCs to the
+//      owning metadata servers (k components = k network round trips, as
+//      in a real distributed file system without a client dentry cache);
+//   2. plans the namespace operation through the NamespacePlanner (which
+//      decides which MDSs participate);
+//   3. submits it to the coordinator's commit engine and maps the
+//      transaction outcome back to an FsStatus.
+//
+// The client is itself a network endpoint (it owns a NodeId outside the
+// MDS range), so its reads travel the simulated wire, see partition
+// effects, and can time out against crashed servers.
+//
+// Everything is asynchronous: callbacks fire from simulator events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "fs/rpc.h"
+#include "mds/namespace.h"
+
+namespace opc {
+
+enum class FsStatus : std::uint8_t {
+  kOk,
+  kNotFound,       // a path component does not exist
+  kExists,         // create/mkdir target already exists
+  kNotADirectory,  // a non-final component is not a directory
+  kNotEmpty,       // rmdir of a non-empty directory
+  kInvalidPath,    // not absolute / empty component
+  kAborted,        // the commit protocol aborted the operation
+  kUnreachable,    // an RPC timed out (server down / partitioned)
+};
+
+[[nodiscard]] const char* fs_status_name(FsStatus s);
+
+struct FsClientConfig {
+  Duration rpc_timeout = Duration::seconds(1);
+
+  /// Client-side dentry cache TTL.  zero() disables caching (default):
+  /// every component costs a lookup RPC, as in the paper's model.  With a
+  /// TTL, resolutions reuse recent lookups; entries can go stale when other
+  /// clients mutate the namespace — operations then fail (kAborted /
+  /// kNotFound), the client invalidates the affected path and the caller
+  /// retries against fresh state.
+  Duration dentry_cache_ttl = Duration::zero();
+};
+
+class FsClient {
+ public:
+  using StatusCb = std::function<void(FsStatus)>;
+  using StatCb = std::function<void(FsStatus, Inode)>;
+  using ResolveCb = std::function<void(FsStatus, ObjectId)>;
+  using ReaddirCb = std::function<void(
+      FsStatus, std::vector<std::pair<std::string, ObjectId>>)>;
+
+  /// `client_id` must be outside the MDS id range (e.g. cluster.size()+k).
+  /// `root` is the root directory's object id.
+  FsClient(Simulator& sim, Cluster& cluster, NamespacePlanner& planner,
+           IdAllocator& ids, ObjectId root, NodeId client_id,
+           FsClientConfig cfg = {});
+  ~FsClient();
+
+  FsClient(const FsClient&) = delete;
+  FsClient& operator=(const FsClient&) = delete;
+
+  // --- namespace updates (run through the commit protocols) ---
+  void create(const std::string& path, StatusCb cb) {
+    create_node(path, /*is_dir=*/false, std::move(cb));
+  }
+  void mkdir(const std::string& path, StatusCb cb) {
+    create_node(path, /*is_dir=*/true, std::move(cb));
+  }
+  /// Removes a file (or an empty directory).
+  void unlink(const std::string& path, StatusCb cb);
+  void rename(const std::string& from, const std::string& to, StatusCb cb);
+
+  // --- metadata reads (lookup path, no commit machinery) ---
+  void stat(const std::string& path, StatCb cb);
+  void readdir(const std::string& path, ReaddirCb cb);
+  /// Resolves a path to its inode id.
+  void resolve(const std::string& path, ResolveCb cb);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] ObjectId root() const { return root_; }
+
+  /// Splits an absolute path into components; empty result + false on
+  /// malformed input ("" or not starting with '/'); "/" yields zero
+  /// components.  Exposed for tests.
+  [[nodiscard]] static bool split_path(const std::string& path,
+                                       std::vector<std::string>& out);
+
+  /// Drops every cached dentry along `path` (each component).  Called
+  /// automatically when an operation fails in a way that suggests
+  /// staleness; exposed so applications can force freshness.
+  void invalidate(const std::string& path);
+
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  struct Pending {
+    std::function<void(bool delivered, FsRpcReply)> cb;
+    EventHandle timer;
+  };
+  struct CachedDentry {
+    ObjectId child;
+    SimTime cached_at;
+  };
+
+  void create_node(const std::string& path, bool is_dir, StatusCb cb);
+  /// Resolves `components[0..n_components)` starting at the root; yields
+  /// the final object id.
+  void resolve_components(std::vector<std::string> components,
+                          std::size_t index, ObjectId current, ResolveCb cb);
+  /// Resolves everything but the last component; yields (parent dir, leaf).
+  void resolve_parent(const std::string& path,
+                      std::function<void(FsStatus, ObjectId parent,
+                                         std::string leaf)> cb);
+  void send_rpc(NodeId to, FsRpc rpc,
+                std::function<void(bool delivered, FsRpcReply)> cb);
+  void on_envelope(Envelope env);
+  void submit_txn(Transaction txn, StatusCb cb);
+  /// Wraps a status callback so cache entries along `path` are invalidated
+  /// when the operation fails for possibly-stale reasons.
+  [[nodiscard]] StatusCb with_staleness_retry(const std::string& path,
+                                              StatusCb cb);
+
+  Simulator& sim_;
+  Cluster& cluster_;
+  NamespacePlanner& planner_;
+  IdAllocator& ids_;
+  ObjectId root_;
+  NodeId id_;
+  FsClientConfig cfg_;
+  std::uint64_t next_req_ = 1;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::map<std::pair<ObjectId, std::string>, CachedDentry> dentry_cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace opc

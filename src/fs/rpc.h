@@ -1,0 +1,42 @@
+// Metadata read RPCs between file-system clients and metadata servers.
+//
+// Path resolution, stat and readdir are reads: they are answered directly
+// from the target MDS's current (mem) tables without entering the commit
+// machinery — the same split real distributed file systems make between
+// the lookup path and the update path.  These RPCs travel the simulated
+// network like everything else, so a k-component path resolution costs k
+// round trips to the owning servers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mds/store.h"
+#include "txn/types.h"
+
+namespace opc {
+
+/// Envelope.kind used for these RPCs; MdsNode dispatches on it.
+inline constexpr const char* kFsRpcKind = "FS_REQ";
+inline constexpr const char* kFsRpcReplyKind = "FS_REPLY";
+
+enum class FsRpcOp : std::uint8_t { kLookup, kStat, kReaddir };
+
+struct FsRpc {
+  FsRpcOp op = FsRpcOp::kLookup;
+  std::uint64_t req_id = 0;
+  ObjectId target;    // directory (lookup/readdir) or inode (stat)
+  std::string name;   // lookup: the component
+};
+
+struct FsRpcReply {
+  std::uint64_t req_id = 0;
+  bool found = false;
+  ObjectId child;          // lookup: resolved component
+  Inode inode;             // stat: attributes
+  std::vector<std::pair<std::string, ObjectId>> entries;  // readdir
+};
+
+}  // namespace opc

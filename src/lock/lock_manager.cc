@@ -1,0 +1,336 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace opc {
+namespace {
+
+const char* mode_name(LockMode m) {
+  return m == LockMode::kShared ? "S" : "X";
+}
+
+}  // namespace
+
+bool LockManager::txn_has_queued_waiter(const LockState& s,
+                                        std::uint64_t txn) {
+  return std::any_of(s.waiters.begin(), s.waiters.end(),
+                     [txn](const Waiter& w) { return w.txn == txn; });
+}
+
+bool LockManager::grantable(const LockState& s, std::uint64_t txn,
+                            LockMode mode, bool as_upgrade) const {
+  if (as_upgrade) {
+    // Upgrade is grantable when no *other* transaction holds the lock.
+    return std::all_of(s.holders.begin(), s.holders.end(),
+                       [txn](const Holder& h) { return h.txn == txn; });
+  }
+  return std::all_of(s.holders.begin(), s.holders.end(),
+                     [&](const Holder& h) {
+                       return h.txn == txn || lock_compatible(h.mode, mode);
+                     });
+}
+
+bool LockManager::acquire(std::uint64_t txn, std::uint64_t resource,
+                          LockMode mode, Granted on_granted, Duration timeout,
+                          TimedOut on_timeout) {
+  SIM_CHECK(on_granted != nullptr);
+  LockState& s = locks_[resource];
+
+  // Reentrancy and upgrades.  Holder entries are unique per transaction
+  // (pump() merges grants into an existing entry), so the first match is
+  // authoritative.
+  for (Holder& h : s.holders) {
+    if (h.txn != txn) continue;
+    if (h.mode == LockMode::kExclusive || h.mode == mode) {
+      stats_.add("lock.reentrant");
+      on_granted();
+      return true;
+    }
+    // Held S, requesting X.
+    if (grantable(s, txn, mode, /*as_upgrade=*/true)) {
+      h.mode = LockMode::kExclusive;
+      stats_.add("lock.upgrades");
+      trace_.record(sim_.now(), TraceKind::kLockGrant, name_,
+                    "upgrade r" + std::to_string(resource), txn);
+      on_granted();
+      return true;
+    }
+    // Queue at the front as an upgrade; it outranks new arrivals.
+    Waiter w{txn, LockMode::kExclusive, /*upgrade=*/true,
+             std::move(on_granted), std::move(on_timeout), EventHandle{},
+             sim_.now()};
+    if (timeout > Duration::zero()) {
+      w.timer = sim_.schedule_after(timeout, [this, txn, resource] {
+        // Find and expire the queued request.
+        auto it = locks_.find(resource);
+        if (it == locks_.end()) return;
+        auto& ws = it->second.waiters;
+        auto wit = std::find_if(ws.begin(), ws.end(), [txn](const Waiter& x) {
+          return x.txn == txn;
+        });
+        if (wit == ws.end()) return;
+        TimedOut cb = std::move(wit->on_timeout);
+        ws.erase(wit);
+        if (!txn_has_queued_waiter(it->second, txn)) {
+          waiting_by_txn_[txn].erase(resource);
+        }
+        stats_.add("lock.timeouts");
+        if (cb) cb();
+      });
+    }
+    s.waiters.push_front(std::move(w));
+    waiting_by_txn_[txn].insert(resource);
+    stats_.add("lock.waits");
+    trace_.record(sim_.now(), TraceKind::kLockWait, name_,
+                  "wait-upgrade r" + std::to_string(resource), txn);
+    return false;
+  }
+
+  // Fresh request: grant only if compatible AND nobody is queued (FIFO).
+  if (s.waiters.empty() && grantable(s, txn, mode, /*as_upgrade=*/false)) {
+    s.holders.push_back(Holder{txn, mode});
+    held_by_txn_[txn].insert(resource);
+    stats_.add("lock.grants.immediate");
+    trace_.record(sim_.now(), TraceKind::kLockGrant, name_,
+                  std::string(mode_name(mode)) + " r" +
+                      std::to_string(resource),
+                  txn);
+    on_granted();
+    return true;
+  }
+
+  Waiter w{txn, mode, /*upgrade=*/false, std::move(on_granted),
+           std::move(on_timeout), EventHandle{}, sim_.now()};
+  if (timeout > Duration::zero()) {
+    w.timer = sim_.schedule_after(timeout, [this, txn, resource] {
+      auto it = locks_.find(resource);
+      if (it == locks_.end()) return;
+      auto& ws = it->second.waiters;
+      auto wit = std::find_if(ws.begin(), ws.end(), [txn](const Waiter& x) {
+        return x.txn == txn;
+      });
+      if (wit == ws.end()) return;
+      TimedOut cb = std::move(wit->on_timeout);
+      ws.erase(wit);
+      if (!txn_has_queued_waiter(it->second, txn)) {
+        waiting_by_txn_[txn].erase(resource);
+      }
+      stats_.add("lock.timeouts");
+      if (cb) cb();
+      // The slot this waiter occupied may now unblock later waiters.
+      pump(resource);
+    });
+  }
+  s.waiters.push_back(std::move(w));
+  waiting_by_txn_[txn].insert(resource);
+  stats_.add("lock.waits");
+  trace_.record(sim_.now(), TraceKind::kLockWait, name_,
+                std::string(mode_name(mode)) + " r" + std::to_string(resource),
+                txn);
+  return false;
+}
+
+void LockManager::pump(std::uint64_t resource) {
+  while (true) {
+    auto it = locks_.find(resource);
+    if (it == locks_.end() || it->second.waiters.empty()) return;
+    LockState& s = it->second;
+    Waiter& front = s.waiters.front();
+    if (!grantable(s, front.txn, front.mode, front.upgrade)) return;
+
+    Waiter w = std::move(front);
+    s.waiters.pop_front();
+    sim_.cancel(w.timer);
+    if (!txn_has_queued_waiter(s, w.txn)) {
+      waiting_by_txn_[w.txn].erase(resource);
+    }
+    if (w.upgrade) {
+      auto hit = std::find_if(s.holders.begin(), s.holders.end(),
+                              [&](const Holder& h) { return h.txn == w.txn; });
+      SIM_CHECK_MSG(hit != s.holders.end(), "upgrade waiter lost its S hold");
+      hit->mode = LockMode::kExclusive;
+    } else if (auto hit = std::find_if(
+                   s.holders.begin(), s.holders.end(),
+                   [&](const Holder& h) { return h.txn == w.txn; });
+               hit != s.holders.end()) {
+      // The transaction already holds this resource (it queued the same
+      // request twice): merge instead of duplicating the holder entry.
+      if (w.mode == LockMode::kExclusive) hit->mode = LockMode::kExclusive;
+    } else {
+      s.holders.push_back(Holder{w.txn, w.mode});
+      held_by_txn_[w.txn].insert(resource);
+    }
+    wait_hist_.record(sim_.now() - w.enqueued);
+    stats_.add("lock.grants.queued");
+    trace_.record(sim_.now(), TraceKind::kLockGrant, name_,
+                  std::string(mode_name(w.mode)) + " r" +
+                      std::to_string(resource) + " (queued)",
+                  w.txn);
+    // May recurse into acquire/release; state references are re-fetched at
+    // the top of the loop.
+    w.on_granted();
+  }
+}
+
+void LockManager::release(std::uint64_t txn, std::uint64_t resource) {
+  auto it = locks_.find(resource);
+  if (it == locks_.end()) return;
+  LockState& s = it->second;
+  auto hit = std::find_if(s.holders.begin(), s.holders.end(),
+                          [&](const Holder& h) { return h.txn == txn; });
+  if (hit == s.holders.end()) return;
+  s.holders.erase(hit);
+  if (auto t = held_by_txn_.find(txn); t != held_by_txn_.end()) {
+    t->second.erase(resource);
+    if (t->second.empty()) held_by_txn_.erase(t);
+  }
+  stats_.add("lock.releases");
+  trace_.record(sim_.now(), TraceKind::kLockRelease, name_,
+                "r" + std::to_string(resource), txn);
+  if (s.holders.empty() && s.waiters.empty()) {
+    locks_.erase(it);
+    return;
+  }
+  pump(resource);
+}
+
+void LockManager::release_all(std::uint64_t txn) {
+  // Cancel queued requests first so a release cannot grant a lock to a
+  // request this same transaction is abandoning.
+  if (auto wit = waiting_by_txn_.find(txn); wit != waiting_by_txn_.end()) {
+    const std::unordered_set<std::uint64_t> waiting = std::move(wit->second);
+    waiting_by_txn_.erase(wit);
+    for (std::uint64_t resource : waiting) {
+      auto it = locks_.find(resource);
+      if (it == locks_.end()) continue;
+      auto& ws = it->second.waiters;
+      // Remove EVERY queued request of this transaction — a caller that
+      // double-queued (acquired the same resource twice while blocked)
+      // must not leave a zombie waiter behind.
+      bool removed = false;
+      for (auto x = ws.begin(); x != ws.end();) {
+        if (x->txn == txn) {
+          sim_.cancel(x->timer);
+          x = ws.erase(x);
+          removed = true;
+          stats_.add("lock.cancelled_waits");
+        } else {
+          ++x;
+        }
+      }
+      if (removed) pump(resource);
+    }
+  }
+  if (auto hit = held_by_txn_.find(txn); hit != held_by_txn_.end()) {
+    const std::unordered_set<std::uint64_t> held = std::move(hit->second);
+    held_by_txn_.erase(hit);
+    for (std::uint64_t resource : held) {
+      auto it = locks_.find(resource);
+      if (it == locks_.end()) continue;
+      LockState& s = it->second;
+      std::erase_if(s.holders,
+                    [txn](const Holder& h) { return h.txn == txn; });
+      stats_.add("lock.releases");
+      trace_.record(sim_.now(), TraceKind::kLockRelease, name_,
+                    "r" + std::to_string(resource), txn);
+      if (s.holders.empty() && s.waiters.empty()) {
+        locks_.erase(it);
+      } else {
+        pump(resource);
+      }
+    }
+  }
+}
+
+void LockManager::reset() {
+  for (auto& [res, s] : locks_) {
+    (void)res;
+    for (Waiter& w : s.waiters) sim_.cancel(w.timer);
+  }
+  locks_.clear();
+  held_by_txn_.clear();
+  waiting_by_txn_.clear();
+  stats_.add("lock.resets");
+}
+
+bool LockManager::holds(std::uint64_t txn, std::uint64_t resource,
+                        LockMode mode) const {
+  auto it = locks_.find(resource);
+  if (it == locks_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn == txn) {
+      return mode == LockMode::kShared || h.mode == LockMode::kExclusive;
+    }
+  }
+  return false;
+}
+
+std::size_t LockManager::waiting_count(std::uint64_t resource) const {
+  auto it = locks_.find(resource);
+  return it == locks_.end() ? 0 : it->second.waiters.size();
+}
+
+std::size_t LockManager::held_resources(std::uint64_t txn) const {
+  auto it = held_by_txn_.find(txn);
+  return it == held_by_txn_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::uint64_t> LockManager::find_deadlock_victims() const {
+  // Wait-for edges: each waiter depends on every incompatible holder and on
+  // every waiter queued ahead of it (FIFO queues make queue order part of
+  // the dependency).
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> adj;
+  for (const auto& [res, s] : locks_) {
+    (void)res;
+    for (std::size_t i = 0; i < s.waiters.size(); ++i) {
+      const Waiter& w = s.waiters[i];
+      auto& out = adj[w.txn];
+      for (const Holder& h : s.holders) {
+        if (h.txn != w.txn && !lock_compatible(h.mode, w.mode)) {
+          out.push_back(h.txn);
+        }
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (s.waiters[j].txn != w.txn) out.push_back(s.waiters[j].txn);
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> victims;
+  std::unordered_map<std::uint64_t, int> color;  // 0 white 1 grey 2 black
+  std::vector<std::uint64_t> stack;
+
+  std::function<void(std::uint64_t)> dfs = [&](std::uint64_t u) {
+    color[u] = 1;
+    stack.push_back(u);
+    if (auto it = adj.find(u); it != adj.end()) {
+      for (std::uint64_t v : it->second) {
+        if (color[v] == 1) {
+          // Cycle: victim = youngest (largest id) on the cycle segment.
+          std::uint64_t victim = v;
+          for (auto r = stack.rbegin(); r != stack.rend(); ++r) {
+            victim = std::max(victim, *r);
+            if (*r == v) break;
+          }
+          if (std::find(victims.begin(), victims.end(), victim) ==
+              victims.end()) {
+            victims.push_back(victim);
+          }
+        } else if (color[v] == 0) {
+          dfs(v);
+        }
+      }
+    }
+    color[u] = 2;
+    stack.pop_back();
+  };
+  for (const auto& [txn, edges] : adj) {
+    (void)edges;
+    if (color[txn] == 0) dfs(txn);
+  }
+  std::sort(victims.begin(), victims.end());
+  return victims;
+}
+
+}  // namespace opc

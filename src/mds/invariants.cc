@@ -1,0 +1,85 @@
+#include "mds/invariants.h"
+
+#include <algorithm>
+#include <map>
+
+namespace opc {
+
+const char* violation_kind_name(InvariantViolation::Kind k) {
+  switch (k) {
+    case InvariantViolation::Kind::kDanglingDentry: return "DanglingDentry";
+    case InvariantViolation::Kind::kOrphanedInode: return "OrphanedInode";
+    case InvariantViolation::Kind::kLinkCountMismatch:
+      return "LinkCountMismatch";
+    case InvariantViolation::Kind::kDuplicateInode: return "DuplicateInode";
+    case InvariantViolation::Kind::kDanglingParent: return "DanglingParent";
+  }
+  return "?";
+}
+
+std::vector<InvariantViolation> check_invariants(
+    const std::vector<const MetaStore*>& stores,
+    const std::vector<ObjectId>& roots) {
+  std::vector<InvariantViolation> out;
+
+  // Global inode table and reference counts.
+  std::map<ObjectId, Inode> inodes;
+  std::map<ObjectId, std::uint32_t> refs;
+  for (const MetaStore* s : stores) {
+    for (const Inode& ino : s->stable_inodes()) {
+      auto [it, inserted] = inodes.emplace(ino.id, ino);
+      (void)it;
+      if (!inserted) {
+        out.push_back({InvariantViolation::Kind::kDuplicateInode,
+                       "inode " + std::to_string(ino.id.value()) +
+                           " hosted by multiple MDSs"});
+      }
+    }
+  }
+  for (const MetaStore* s : stores) {
+    for (const auto& [dir, name, child] : s->stable_dentries()) {
+      ++refs[child];
+      if (!inodes.contains(child)) {
+        out.push_back({InvariantViolation::Kind::kDanglingDentry,
+                       "dentry (" + std::to_string(dir.value()) + ", \"" +
+                           name + "\") -> missing inode " +
+                           std::to_string(child.value())});
+      }
+      if (!inodes.contains(dir)) {
+        out.push_back({InvariantViolation::Kind::kDanglingParent,
+                       "dentry (" + std::to_string(dir.value()) + ", \"" +
+                           name + "\") belongs to a missing directory"});
+      }
+    }
+  }
+  for (const auto& [id, ino] : inodes) {
+    const bool is_root =
+        std::find(roots.begin(), roots.end(), id) != roots.end();
+    const std::uint32_t r = refs.contains(id) ? refs.at(id) : 0;
+    if (r == 0 && !is_root) {
+      out.push_back({InvariantViolation::Kind::kOrphanedInode,
+                     "inode " + std::to_string(id.value()) +
+                         " has no referencing dentry"});
+    }
+    if (!is_root && ino.nlink != r) {
+      out.push_back({InvariantViolation::Kind::kLinkCountMismatch,
+                     "inode " + std::to_string(id.value()) + " nlink=" +
+                         std::to_string(ino.nlink) + " but " +
+                         std::to_string(r) + " dentries reference it"});
+    }
+  }
+  return out;
+}
+
+std::string render_violations(const std::vector<InvariantViolation>& v) {
+  std::string out;
+  for (const auto& x : v) {
+    out += violation_kind_name(x.kind);
+    out += ": ";
+    out += x.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace opc

@@ -1,0 +1,48 @@
+// File-system invariant checking across the whole MDS cluster.
+//
+// The paper motivates atomic commitment with two namespace invariants
+// (§II):
+//   (a) if a name references a file, that file exists — no dangling
+//       dentries;
+//   (b) if a file exists, it is referenced at least once — no orphaned
+//       inodes.
+// plus the book-keeping consistency that each inode's link count equals
+// the number of dentries pointing at it.
+//
+// The failure-injection tests run the checker over every MDS's *stable*
+// state after crashes and recovery complete: any violation means a commit
+// protocol broke atomicity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mds/store.h"
+
+namespace opc {
+
+struct InvariantViolation {
+  enum class Kind {
+    kDanglingDentry,   // dentry -> inode that does not exist anywhere
+    kOrphanedInode,    // inode with no dentry referencing it
+    kLinkCountMismatch,
+    kDuplicateInode,   // same inode id hosted by two MDSs
+    kDanglingParent,   // dentry whose directory inode does not exist
+  };
+  Kind kind;
+  std::string detail;
+};
+
+[[nodiscard]] const char* violation_kind_name(InvariantViolation::Kind k);
+
+/// Scans the stable state of every store.  `roots` lists inodes that are
+/// legitimately reference-free (e.g. the root directory).
+[[nodiscard]] std::vector<InvariantViolation> check_invariants(
+    const std::vector<const MetaStore*>& stores,
+    const std::vector<ObjectId>& roots);
+
+/// Renders violations one per line (empty string when clean).
+[[nodiscard]] std::string render_violations(
+    const std::vector<InvariantViolation>& v);
+
+}  // namespace opc

@@ -1,0 +1,28 @@
+#include "mds/partition.h"
+
+#include "sim/check.h"
+
+namespace opc {
+
+NodeId LocalityPartitioner::home_of(ObjectId obj) const {
+  auto it = placed_.find(obj);
+  SIM_CHECK_MSG(it != placed_.end(),
+                "LocalityPartitioner::home_of on an object never placed");
+  return it->second;
+}
+
+NodeId LocalityPartitioner::place_child(ObjectId parent_dir, ObjectId child,
+                                        std::uint64_t hint) {
+  if (auto it = placed_.find(child); it != placed_.end()) return it->second;
+  NodeId home;
+  if (rng_.bernoulli(locality_)) {
+    home = home_of(parent_dir);
+  } else {
+    // Spill uniformly; the hint decorrelates placement from call order.
+    home = NodeId(static_cast<std::uint32_t>((rng_.next_u64() ^ hint) % n_));
+  }
+  placed_[child] = home;
+  return home;
+}
+
+}  // namespace opc

@@ -1,0 +1,314 @@
+#include "mds/store.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace opc {
+namespace {
+const std::vector<Operation> kNoOps;
+}
+
+const char* store_status_name(StoreStatus s) {
+  switch (s) {
+    case StoreStatus::kOk: return "Ok";
+    case StoreStatus::kInodeExists: return "InodeExists";
+    case StoreStatus::kInodeNotFound: return "InodeNotFound";
+    case StoreStatus::kNotADirectory: return "NotADirectory";
+    case StoreStatus::kDentryExists: return "DentryExists";
+    case StoreStatus::kDentryNotFound: return "DentryNotFound";
+    case StoreStatus::kChildMismatch: return "ChildMismatch";
+    case StoreStatus::kLinkUnderflow: return "LinkUnderflow";
+    case StoreStatus::kDirNotEmpty: return "DirNotEmpty";
+  }
+  return "?";
+}
+
+std::optional<Inode> MetaStore::mem_inode(ObjectId id) const {
+  auto it = mem_inodes_.find(id);
+  if (it == mem_inodes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ObjectId> MetaStore::mem_lookup(ObjectId dir,
+                                              const std::string& name) const {
+  auto it = mem_dentries_.find({dir, name});
+  if (it == mem_dentries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<std::string, ObjectId>> MetaStore::mem_list_dir(
+    ObjectId dir) const {
+  std::vector<std::pair<std::string, ObjectId>> out;
+  // Dentries are keyed (dir, name) in an ordered map: one range scan.
+  for (auto it = mem_dentries_.lower_bound({dir, std::string()});
+       it != mem_dentries_.end() && it->first.first == dir; ++it) {
+    out.emplace_back(it->first.second, it->second);
+  }
+  return out;
+}
+
+std::optional<Inode> MetaStore::effective_inode(TxnId txn, ObjectId id) const {
+  std::optional<Inode> ino = mem_inode(id);
+  auto pit = pending_.find(txn);
+  if (pit == pending_.end()) return ino;
+  for (const Operation& op : pit->second) {
+    if (op.target != id) continue;
+    switch (op.type) {
+      case OpType::kCreateInode:
+        ino = Inode{id, /*is_dir=*/op.child == id, 0, 0};
+        break;
+      case OpType::kRemoveInode:
+        ino.reset();
+        break;
+      case OpType::kIncLink:
+        if (ino) ++ino->nlink;
+        break;
+      case OpType::kDecLink:
+        if (ino) {
+          --ino->nlink;
+          if (ino->nlink == 0) ino.reset();
+        }
+        break;
+      case OpType::kSetAttr:
+        if (ino) ++ino->version;
+        break;
+      default:
+        break;
+    }
+  }
+  return ino;
+}
+
+std::optional<ObjectId> MetaStore::effective_lookup(
+    TxnId txn, ObjectId dir, const std::string& name) const {
+  std::optional<ObjectId> child = mem_lookup(dir, name);
+  auto pit = pending_.find(txn);
+  if (pit == pending_.end()) return child;
+  for (const Operation& op : pit->second) {
+    if (op.target != dir || op.name != name) continue;
+    if (op.type == OpType::kAddDentry) child = op.child;
+    if (op.type == OpType::kRemoveDentry) child.reset();
+  }
+  return child;
+}
+
+bool MetaStore::effective_dir_empty(TxnId txn, ObjectId dir) const {
+  std::size_t entries = mem_list_dir(dir).size();
+  if (auto pit = pending_.find(txn); pit != pending_.end()) {
+    for (const Operation& op : pit->second) {
+      if (op.target != dir) continue;
+      if (op.type == OpType::kAddDentry) ++entries;
+      if (op.type == OpType::kRemoveDentry) --entries;
+    }
+  }
+  return entries == 0;
+}
+
+StoreStatus MetaStore::validate(TxnId txn, const Operation& op) const {
+  switch (op.type) {
+    case OpType::kCreateInode:
+      if (effective_inode(txn, op.target)) return StoreStatus::kInodeExists;
+      return StoreStatus::kOk;
+    case OpType::kRemoveInode: {
+      auto ino = effective_inode(txn, op.target);
+      if (!ino) return StoreStatus::kInodeNotFound;
+      if (ino->is_dir && !effective_dir_empty(txn, op.target)) {
+        return StoreStatus::kDirNotEmpty;
+      }
+      return StoreStatus::kOk;
+    }
+    case OpType::kSetAttr:
+    case OpType::kReadAttr:
+    case OpType::kIncLink:
+      if (!effective_inode(txn, op.target)) return StoreStatus::kInodeNotFound;
+      return StoreStatus::kOk;
+    case OpType::kDecLink: {
+      auto ino = effective_inode(txn, op.target);
+      if (!ino) return StoreStatus::kInodeNotFound;
+      if (ino->nlink == 0) return StoreStatus::kLinkUnderflow;
+      if (ino->nlink == 1 && ino->is_dir &&
+          !effective_dir_empty(txn, op.target)) {
+        // The last link is about to drop: an occupied directory must not
+        // vanish (it would orphan its children and dangle their dentries).
+        return StoreStatus::kDirNotEmpty;
+      }
+      return StoreStatus::kOk;
+    }
+    case OpType::kAddDentry: {
+      auto dir = effective_inode(txn, op.target);
+      if (!dir) return StoreStatus::kInodeNotFound;
+      if (!dir->is_dir) return StoreStatus::kNotADirectory;
+      if (effective_lookup(txn, op.target, op.name)) {
+        return StoreStatus::kDentryExists;
+      }
+      return StoreStatus::kOk;
+    }
+    case OpType::kRemoveDentry: {
+      auto dir = effective_inode(txn, op.target);
+      if (!dir) return StoreStatus::kInodeNotFound;
+      if (!dir->is_dir) return StoreStatus::kNotADirectory;
+      auto child = effective_lookup(txn, op.target, op.name);
+      if (!child) return StoreStatus::kDentryNotFound;
+      if (op.child.valid() && *child != op.child) {
+        return StoreStatus::kChildMismatch;
+      }
+      return StoreStatus::kOk;
+    }
+  }
+  return StoreStatus::kOk;
+}
+
+StoreStatus MetaStore::apply(TxnId txn, const Operation& op) {
+  const StoreStatus st = validate(txn, op);
+  if (st != StoreStatus::kOk) return st;
+  if (!op_is_read(op.type)) pending_[txn].push_back(op);
+  return StoreStatus::kOk;
+}
+
+void MetaStore::apply_to(const Operation& op, InodeTable& inodes,
+                         DentryTable& dentries) {
+  switch (op.type) {
+    case OpType::kCreateInode: {
+      // Convention: CreateInode with child==target marks a directory.
+      auto [it, inserted] = inodes.emplace(
+          op.target, Inode{op.target, op.child == op.target, 0, 0});
+      (void)it;
+      SIM_CHECK_MSG(inserted, "CreateInode on existing inode");
+      break;
+    }
+    case OpType::kRemoveInode:
+      SIM_CHECK_MSG(inodes.erase(op.target) == 1,
+                    "RemoveInode on missing inode");
+      break;
+    case OpType::kIncLink: {
+      auto it = inodes.find(op.target);
+      SIM_CHECK_MSG(it != inodes.end(), "IncLink on missing inode");
+      ++it->second.nlink;
+      break;
+    }
+    case OpType::kDecLink: {
+      auto it = inodes.find(op.target);
+      SIM_CHECK_MSG(it != inodes.end(), "DecLink on missing inode");
+      SIM_CHECK_MSG(it->second.nlink > 0, "DecLink underflow");
+      if (--it->second.nlink == 0) inodes.erase(it);
+      break;
+    }
+    case OpType::kSetAttr: {
+      auto it = inodes.find(op.target);
+      SIM_CHECK_MSG(it != inodes.end(), "SetAttr on missing inode");
+      ++it->second.version;
+      break;
+    }
+    case OpType::kAddDentry: {
+      auto [it, inserted] =
+          dentries.emplace(std::make_pair(op.target, op.name), op.child);
+      (void)it;
+      SIM_CHECK_MSG(inserted, "AddDentry on existing name");
+      break;
+    }
+    case OpType::kRemoveDentry:
+      SIM_CHECK_MSG(dentries.erase({op.target, op.name}) == 1,
+                    "RemoveDentry on missing name");
+      break;
+    case OpType::kReadAttr:
+      break;
+  }
+}
+
+void MetaStore::commit_mem(TxnId txn) {
+  auto it = pending_.find(txn);
+  if (it == pending_.end()) return;  // read-only or empty share
+  SIM_CHECK_MSG(!unflushed_.contains(txn), "commit_mem called twice");
+  for (const Operation& op : it->second) {
+    apply_to(op, mem_inodes_, mem_dentries_);
+  }
+  unflushed_.emplace(txn, std::move(it->second));
+  pending_.erase(it);
+}
+
+void MetaStore::commit_stable(TxnId txn) {
+  auto it = unflushed_.find(txn);
+  if (it == unflushed_.end()) return;  // read-only or empty share
+  for (const Operation& op : it->second) {
+    apply_to(op, stable_inodes_, stable_dentries_);
+  }
+  stable_applied_.insert(txn);
+  unflushed_.erase(it);
+}
+
+void MetaStore::abort_txn(TxnId txn) {
+  SIM_CHECK_MSG(!unflushed_.contains(txn),
+                "abort after commit_mem is a protocol bug");
+  pending_.erase(txn);
+}
+
+void MetaStore::crash() {
+  pending_.clear();
+  unflushed_.clear();
+  mem_inodes_ = stable_inodes_;
+  mem_dentries_ = stable_dentries_;
+}
+
+bool MetaStore::replay_committed(TxnId txn,
+                                 const std::vector<Operation>& ops) {
+  if (stable_applied_.contains(txn)) return false;
+  for (const Operation& op : ops) {
+    if (op_is_read(op.type)) continue;
+    apply_to(op, stable_inodes_, stable_dentries_);
+    apply_to(op, mem_inodes_, mem_dentries_);
+  }
+  stable_applied_.insert(txn);
+  return true;
+}
+
+std::optional<Inode> MetaStore::stable_inode(ObjectId id) const {
+  auto it = stable_inodes_.find(id);
+  if (it == stable_inodes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ObjectId> MetaStore::stable_lookup(
+    ObjectId dir, const std::string& name) const {
+  auto it = stable_dentries_.find({dir, name});
+  if (it == stable_dentries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::tuple<ObjectId, std::string, ObjectId>>
+MetaStore::stable_dentries() const {
+  std::vector<std::tuple<ObjectId, std::string, ObjectId>> out;
+  out.reserve(stable_dentries_.size());
+  for (const auto& [key, child] : stable_dentries_) {
+    out.emplace_back(key.first, key.second, child);
+  }
+  return out;
+}
+
+std::vector<Inode> MetaStore::stable_inodes() const {
+  std::vector<Inode> out;
+  out.reserve(stable_inodes_.size());
+  for (const auto& [id, ino] : stable_inodes_) {
+    (void)id;
+    out.push_back(ino);
+  }
+  return out;
+}
+
+const std::vector<Operation>& MetaStore::pending_ops(TxnId txn) const {
+  auto it = pending_.find(txn);
+  return it == pending_.end() ? kNoOps : it->second;
+}
+
+void MetaStore::bootstrap_inode(const Inode& ino) {
+  mem_inodes_[ino.id] = ino;
+  stable_inodes_[ino.id] = ino;
+}
+
+void MetaStore::bootstrap_dentry(ObjectId dir, const std::string& name,
+                                 ObjectId child) {
+  mem_dentries_[{dir, name}] = child;
+  stable_dentries_[{dir, name}] = child;
+}
+
+}  // namespace opc

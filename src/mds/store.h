@@ -1,0 +1,169 @@
+// Per-MDS metadata store with crash-faithful three-level state.
+//
+// Updates are first performed "in the cache" (paper §II-A: MDSs perform
+// their local updates in the cache, then the commit protocol forces them to
+// the log).  MetaStore models the full lifecycle explicitly:
+//
+//   1. per-transaction pending ops — the volatile cache.  Dropped on crash
+//      or abort.
+//   2. in-memory committed tables (`mem`) — the logically current state
+//      every new transaction validates against.  The 1PC coordinator makes
+//      a transaction visible here (and releases its locks) *before* its own
+//      commit force completes — the paper's headline latency optimization —
+//      so `mem` can run ahead of disk.  Lost on crash, rebuilt from stable
+//      state + log recovery.
+//   3. stable tables — what survives a crash.  Mutated only by
+//      commit_stable()/replay, strictly after the corresponding log force
+//      is durable.
+//
+// Idempotent redo: stable state remembers the ids of transactions whose
+// effects it already contains (`stable_applied`).  This models ARIES page
+// LSNs at transaction granularity — in a real system "has this update
+// reached the stable pages?" is answerable from the pages themselves; here
+// the simulator keeps the answer as part of stable state, so recovery can
+// replay a committed transaction exactly once no matter how often it is
+// re-driven.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/types.h"
+#include "txn/types.h"
+
+namespace opc {
+
+struct Inode {
+  ObjectId id;
+  bool is_dir = false;
+  std::uint32_t nlink = 0;
+  std::uint64_t version = 0;  // bumped by SetAttr
+
+  [[nodiscard]] bool operator==(const Inode&) const = default;
+};
+
+enum class StoreStatus : std::uint8_t {
+  kOk,
+  kInodeExists,
+  kInodeNotFound,
+  kNotADirectory,
+  kDentryExists,
+  kDentryNotFound,
+  kChildMismatch,
+  kLinkUnderflow,
+  kDirNotEmpty,  // removing a directory that still has entries
+};
+
+[[nodiscard]] const char* store_status_name(StoreStatus s);
+
+class MetaStore {
+ public:
+  explicit MetaStore(NodeId owner) : owner_(owner) {}
+
+  [[nodiscard]] NodeId owner() const { return owner_; }
+
+  /// Validates `op` against the transaction's effective view (mem + its own
+  /// pending ops) and records it in the cache.  Nothing becomes durable or
+  /// visible to others.  Read-only ops validate without being recorded.
+  StoreStatus apply(TxnId txn, const Operation& op);
+
+  /// Makes the transaction's cached updates visible in `mem` (logically
+  /// committed).  The ops move to the unflushed set awaiting
+  /// commit_stable().  Call at most once per transaction.
+  void commit_mem(TxnId txn);
+
+  /// Promotes the transaction's unflushed updates into stable state and
+  /// marks the transaction applied.  Must only run once the updates are
+  /// durable in the WAL.
+  void commit_stable(TxnId txn);
+
+  /// commit_mem + commit_stable in one step (the common non-1PC path).
+  void commit_txn(TxnId txn) {
+    commit_mem(txn);
+    commit_stable(txn);
+  }
+
+  /// Discards the transaction's cached updates (abort path; only valid
+  /// before commit_mem).
+  void abort_txn(TxnId txn);
+
+  /// Crash: caches and the mem overlay vanish; mem is rebuilt equal to
+  /// stable state.  Recovery then replays from the log.
+  void crash();
+
+  /// Replays a committed transaction's operations directly against stable
+  /// (and mem) state.  Idempotent: if the transaction was already applied
+  /// to stable state, this is a no-op.  Returns true if it applied.
+  bool replay_committed(TxnId txn, const std::vector<Operation>& ops);
+
+  /// True if stable state already contains the transaction's effects.
+  [[nodiscard]] bool stable_applied(TxnId txn) const {
+    return stable_applied_.contains(txn);
+  }
+
+  // --- Queries: current logical view (mem) ---
+  [[nodiscard]] std::optional<Inode> mem_inode(ObjectId id) const;
+  [[nodiscard]] std::optional<ObjectId> mem_lookup(
+      ObjectId dir, const std::string& name) const;
+  /// All current entries of a directory, name-ordered (readdir).
+  [[nodiscard]] std::vector<std::pair<std::string, ObjectId>> mem_list_dir(
+      ObjectId dir) const;
+
+  // --- Queries: a transaction's effective view (mem + its pending ops) ---
+  [[nodiscard]] std::optional<Inode> effective_inode(TxnId txn,
+                                                     ObjectId id) const;
+  [[nodiscard]] std::optional<ObjectId> effective_lookup(
+      TxnId txn, ObjectId dir, const std::string& name) const;
+
+  // --- Queries: stable view (what a crash preserves) ---
+  [[nodiscard]] std::optional<Inode> stable_inode(ObjectId id) const;
+  [[nodiscard]] std::optional<ObjectId> stable_lookup(
+      ObjectId dir, const std::string& name) const;
+  [[nodiscard]] std::size_t stable_inode_count() const {
+    return stable_inodes_.size();
+  }
+  [[nodiscard]] std::size_t stable_dentry_count() const {
+    return stable_dentries_.size();
+  }
+  [[nodiscard]] std::vector<std::tuple<ObjectId, std::string, ObjectId>>
+  stable_dentries() const;
+  [[nodiscard]] std::vector<Inode> stable_inodes() const;
+
+  /// Cached (not yet mem-committed) ops for a transaction.
+  [[nodiscard]] const std::vector<Operation>& pending_ops(TxnId txn) const;
+  /// Ops committed to mem but not yet stable.
+  [[nodiscard]] std::size_t unflushed_txns() const {
+    return unflushed_.size();
+  }
+
+  /// Seeds both mem and stable state directly (bootstrap: root directory,
+  /// pre-populated trees).  Bypasses logging by design.
+  void bootstrap_inode(const Inode& ino);
+  void bootstrap_dentry(ObjectId dir, const std::string& name, ObjectId child);
+
+ private:
+  using InodeTable = std::map<ObjectId, Inode>;
+  using DentryTable = std::map<std::pair<ObjectId, std::string>, ObjectId>;
+
+  [[nodiscard]] StoreStatus validate(TxnId txn, const Operation& op) const;
+  /// True if `dir` has no entries in the transaction's effective view.
+  [[nodiscard]] bool effective_dir_empty(TxnId txn, ObjectId dir) const;
+  static void apply_to(const Operation& op, InodeTable& inodes,
+                       DentryTable& dentries);
+
+  NodeId owner_;
+  InodeTable mem_inodes_;
+  DentryTable mem_dentries_;
+  InodeTable stable_inodes_;
+  DentryTable stable_dentries_;
+  std::unordered_map<TxnId, std::vector<Operation>> pending_;
+  std::unordered_map<TxnId, std::vector<Operation>> unflushed_;
+  std::unordered_set<TxnId> stable_applied_;
+};
+
+}  // namespace opc

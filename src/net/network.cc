@@ -1,0 +1,88 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace opc {
+
+void Network::attach(NodeId node, Handler handler) {
+  SIM_CHECK(handler != nullptr);
+  handlers_[node] = std::move(handler);
+}
+
+void Network::detach(NodeId node) { handlers_.erase(node); }
+
+void Network::send(Envelope env) {
+  stats_.add("net.sent");
+  trace_.record(sim_.now(), TraceKind::kMessageSend, env.from.str(),
+                env.kind + " -> " + env.to.str(), env.txn);
+
+  if (severed(env.from, env.to)) {
+    stats_.add("net.dropped.partition");
+    trace_.record(sim_.now(), TraceKind::kMessageDrop, env.from.str(),
+                  env.kind + " (partitioned) -> " + env.to.str(), env.txn);
+    return;
+  }
+  if (cfg_.loss_probability > 0.0 && rng_.bernoulli(cfg_.loss_probability)) {
+    stats_.add("net.dropped.loss");
+    trace_.record(sim_.now(), TraceKind::kMessageDrop, env.from.str(),
+                  env.kind + " (lost) -> " + env.to.str(), env.txn);
+    return;
+  }
+  if (drop_filter_ && drop_filter_(env)) {
+    stats_.add("net.dropped.filter");
+    trace_.record(sim_.now(), TraceKind::kMessageDrop, env.from.str(),
+                  env.kind + " (filtered) -> " + env.to.str(), env.txn);
+    return;
+  }
+
+  Duration delay = cfg_.latency;
+  if (cfg_.bytes_per_second > 0.0) {
+    delay += Duration::from_seconds_f(static_cast<double>(env.size_bytes) /
+                                      cfg_.bytes_per_second);
+  }
+  if (cfg_.jitter_max > Duration::zero()) {
+    delay += Duration::nanos(static_cast<std::int64_t>(rng_.uniform(
+        0.0, static_cast<double>(cfg_.jitter_max.count_nanos()))));
+  }
+
+  SimTime when = sim_.now() + delay;
+  // FIFO per directed channel: never deliver before an earlier message on
+  // the same channel.
+  const std::uint64_t ch = key(env.from, env.to);
+  if (auto it = channel_clock_.find(ch); it != channel_clock_.end()) {
+    when = std::max(when, it->second + Duration::nanos(1));
+  }
+  channel_clock_[ch] = when;
+
+  sim_.schedule_at(when, [this, env = std::move(env)]() mutable {
+    deliver(std::move(env));
+  });
+}
+
+void Network::deliver(Envelope env) {
+  // A partition raised *after* the send also kills in-flight traffic: the
+  // packet is on the wire while the link goes dark.
+  if (severed(env.from, env.to)) {
+    stats_.add("net.dropped.partition");
+    trace_.record(sim_.now(), TraceKind::kMessageDrop, env.to.str(),
+                  env.kind + " (partitioned in flight) from " + env.from.str(),
+                  env.txn);
+    return;
+  }
+  auto it = handlers_.find(env.to);
+  if (it == handlers_.end()) {
+    stats_.add("net.dropped.down");
+    trace_.record(sim_.now(), TraceKind::kMessageDrop, env.to.str(),
+                  env.kind + " (node down) from " + env.from.str(), env.txn);
+    return;
+  }
+  stats_.add("net.delivered");
+  trace_.record(sim_.now(), TraceKind::kMessageRecv, env.to.str(),
+                env.kind + " <- " + env.from.str(), env.txn);
+  // Copy the handler: the callback may detach/re-attach the node.
+  Handler h = it->second;
+  h(std::move(env));
+}
+
+}  // namespace opc

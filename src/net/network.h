@@ -1,0 +1,126 @@
+// Simulated cluster interconnect.
+//
+// The Network delivers typed envelopes between nodes with a configurable
+// one-way latency (the paper's experiments use 100 µs) plus an optional
+// per-byte cost.  Per-(source, destination) channels are FIFO: even with
+// jitter enabled a later send never overtakes an earlier one, matching the
+// in-order links the commit protocols assume.
+//
+// Failure modeling:
+//   * Partitions — directed node pairs can be severed; messages crossing a
+//     severed link are silently dropped (the sender cannot tell, exactly as
+//     with a real partition).  Partitions can heal.
+//   * Down nodes — a crashed node has no registered handler; deliveries to
+//     it are dropped.  This models the receive-side loss of a crash.
+//   * Probabilistic loss — optional, for stress tests.
+//
+// The payload travels as std::any: the network is deliberately ignorant of
+// protocol message contents; the ACP layer defines and downcasts its own
+// message struct (src/acp/messages.h).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/types.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "stats/counters.h"
+
+namespace opc {
+
+/// One in-flight message.
+struct Envelope {
+  NodeId from;
+  NodeId to;
+  std::string kind;        // short label for tracing ("UPDATE_REQ", ...)
+  std::uint64_t txn = 0;   // transaction id for tracing, 0 if none
+  std::uint64_t size_bytes = 256;
+  std::any payload;        // protocol-defined content
+};
+
+struct NetworkConfig {
+  Duration latency = Duration::micros(100);  // one-way, paper's value
+  double bytes_per_second = 0;               // 0 = latency-only model
+  Duration jitter_max = Duration::zero();    // uniform extra delay in [0,max]
+  double loss_probability = 0.0;             // applied per message
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(Envelope)>;
+
+  Network(Simulator& sim, NetworkConfig cfg, StatsRegistry& stats,
+          TraceRecorder& trace, std::uint64_t seed = 1)
+      : sim_(sim), cfg_(cfg), stats_(stats), trace_(trace),
+        rng_(seed, /*stream=*/0xA11CE) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attaches the receive handler for a node; replaces any previous one.
+  /// A node with no handler (never attached, or detached by a crash) drops
+  /// everything sent to it.
+  void attach(NodeId node, Handler handler);
+
+  /// Detaches a node (crash).  In-flight messages to it will be dropped at
+  /// delivery time — they were "on the wire" when the node died.
+  void detach(NodeId node);
+
+  [[nodiscard]] bool attached(NodeId node) const {
+    return handlers_.contains(node);
+  }
+
+  /// Sends an envelope; delivery is scheduled after the link latency unless
+  /// the link is severed or the message is lost.
+  void send(Envelope env);
+
+  /// Severs the directed link from -> to.  sever_pair() cuts both ways.
+  void sever(NodeId from, NodeId to) { severed_.insert(key(from, to)); }
+  void sever_pair(NodeId a, NodeId b) { sever(a, b); sever(b, a); }
+
+  /// Heals previously severed links.
+  void heal(NodeId from, NodeId to) { severed_.erase(key(from, to)); }
+  void heal_pair(NodeId a, NodeId b) { heal(a, b); heal(b, a); }
+  void heal_all() { severed_.clear(); }
+
+  [[nodiscard]] bool severed(NodeId from, NodeId to) const {
+    return severed_.contains(key(from, to));
+  }
+
+  /// Test hook: a predicate inspected for every send; returning true drops
+  /// the envelope (counted under net.dropped.filter).  Used by the
+  /// fault-injection tests to lose one specific protocol message
+  /// deterministically.  nullptr disables.
+  void set_drop_filter(std::function<bool(const Envelope&)> filter) {
+    drop_filter_ = std::move(filter);
+  }
+
+  [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  }
+
+  void deliver(Envelope env);
+
+  Simulator& sim_;
+  NetworkConfig cfg_;
+  StatsRegistry& stats_;
+  TraceRecorder& trace_;
+  Rng rng_;
+  std::function<bool(const Envelope&)> drop_filter_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::unordered_set<std::uint64_t> severed_;
+  // Last scheduled delivery time per directed channel, for FIFO enforcement
+  // under jitter.
+  std::unordered_map<std::uint64_t, SimTime> channel_clock_;
+};
+
+}  // namespace opc

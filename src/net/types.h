@@ -1,0 +1,38 @@
+// Cluster-wide identifier vocabulary.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace opc {
+
+/// Identifies one node (metadata server or client host) in the simulated
+/// cluster.  A strong type so node ids, transaction ids and object ids can
+/// never be swapped silently.
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  explicit constexpr NodeId(std::uint32_t v) : v_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  constexpr auto operator<=>(const NodeId&) const = default;
+
+  [[nodiscard]] std::string str() const { return "mds" + std::to_string(v_); }
+
+ private:
+  std::uint32_t v_ = UINT32_MAX;
+};
+
+/// Sentinel used for "no node" (e.g. a transaction with no worker).
+inline constexpr NodeId kNoNode{};
+
+}  // namespace opc
+
+template <>
+struct std::hash<opc::NodeId> {
+  std::size_t operator()(const opc::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

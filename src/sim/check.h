@@ -1,0 +1,36 @@
+// Lightweight invariant checking for the simulation core.
+//
+// The simulator is deterministic and single-threaded; an invariant violation
+// is always a programming error, never an environmental condition, so we
+// abort with a readable message instead of throwing.  SIM_CHECK stays active
+// in release builds: simulation results are only trustworthy if the model's
+// invariants were verified while producing them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace opc {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "SIM_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace opc
+
+#define SIM_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) [[unlikely]] {                                      \
+      ::opc::check_failed(#expr, __FILE__, __LINE__, nullptr);       \
+    }                                                                \
+  } while (false)
+
+#define SIM_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) [[unlikely]] {                                      \
+      ::opc::check_failed(#expr, __FILE__, __LINE__, (msg));         \
+    }                                                                \
+  } while (false)

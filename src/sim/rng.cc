@@ -1,0 +1,16 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace opc {
+
+Duration Rng::exponential(Duration mean) {
+  SIM_CHECK(mean.count_nanos() >= 0);
+  // Inverse-CDF sampling; clamp the uniform away from 0 so log() is finite.
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double draw = -std::log(u) * static_cast<double>(mean.count_nanos());
+  return Duration::nanos(static_cast<std::int64_t>(draw));
+}
+
+}  // namespace opc

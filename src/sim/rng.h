@@ -1,0 +1,137 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// We ship our own generators instead of <random>'s engines because the
+// standard does not guarantee identical distribution output across library
+// implementations, and reproducibility of a simulated history from its seed
+// is a hard requirement (DESIGN.md §6.5).
+//
+//   * SplitMix64 — tiny seeding/stream-splitting generator.
+//   * Xoshiro256StarStar — the main workhorse; fast, 256-bit state, passes
+//     BigCrush.  Seeded from SplitMix64 as recommended by its authors.
+//
+// Rng wraps Xoshiro256StarStar with the distribution helpers the workload
+// generators need (uniform ints/doubles, exponential, bernoulli, shuffle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/check.h"
+#include "sim/time.h"
+
+namespace opc {
+
+/// SplitMix64: a 64-bit generator mainly used to expand a single seed into
+/// independent streams / wider state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: the repo-wide PRNG.
+class Xoshiro256StarStar {
+ public:
+  explicit Xoshiro256StarStar(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+/// Distribution helpers over Xoshiro256**.  Every consumer of randomness in
+/// the simulator owns an Rng derived from the run seed plus a stream id, so
+/// adding a consumer never perturbs the draws of existing ones.
+class Rng {
+ public:
+  /// Creates the generator for (seed, stream).  Distinct streams are
+  /// statistically independent.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0)
+      : gen_(mix(seed, stream)) {}
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64() { return gen_.next(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    SIM_CHECK(lo <= hi);
+    const std::uint64_t range = hi - lo;
+    if (range == UINT64_MAX) return gen_.next();
+    const std::uint64_t bound = range + 1;
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    std::uint64_t v = gen_.next();
+    while (v >= limit) v = gen_.next();
+    return lo + v % bound;
+  }
+
+  /// Uniform integer in [0, n) — the common indexing form.
+  std::size_t index(std::size_t n) {
+    SIM_CHECK(n > 0);
+    return static_cast<std::size_t>(uniform_u64(0, n - 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed duration with the given mean; used for open
+  /// loop arrival processes and think times.
+  Duration exponential(Duration mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  static std::uint64_t mix(std::uint64_t seed, std::uint64_t stream) {
+    SplitMix64 sm(seed);
+    std::uint64_t s = sm.next();
+    // Fold the stream id through a second SplitMix pass so that nearby
+    // stream ids do not produce correlated xoshiro seeds.
+    SplitMix64 sm2(s ^ (stream * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+    return sm2.next();
+  }
+
+  Xoshiro256StarStar gen_;
+};
+
+}  // namespace opc

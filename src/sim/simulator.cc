@@ -1,0 +1,89 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace opc {
+
+EventHandle Simulator::schedule_at(SimTime when, Callback cb) {
+  SIM_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  SIM_CHECK(cb != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  pending_.insert(id);
+  return EventHandle{id};
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // An event is cancellable only while it is still queued.  Cancellation is
+  // lazy: the id moves from `pending_` to `cancelled_`, and the queue entry
+  // becomes a tombstone that is discarded when it reaches the front.
+  auto it = pending_.find(h.id_);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  cancelled_.insert(h.id_);
+  return true;
+}
+
+bool Simulator::pop_live(Entry& out) {
+  while (!queue_.empty()) {
+    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    out = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::dispatch(Entry& e) {
+  pending_.erase(e.id);
+  now_ = e.when;
+  ++dispatched_;
+  e.cb();
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!pop_live(e)) return false;
+  dispatch(e);
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  SIM_CHECK_MSG(!running_, "Simulator::run is not reentrant");
+  running_ = true;
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && step()) ++n;
+  running_ = false;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  SIM_CHECK_MSG(!running_, "Simulator::run is not reentrant");
+  SIM_CHECK(deadline >= now_);
+  running_ = true;
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_) {
+    Entry e;
+    if (!pop_live(e)) break;
+    if (e.when > deadline) {
+      // Put it back untouched (its id is still in pending_); it fires in a
+      // later run.
+      queue_.push(std::move(e));
+      break;
+    }
+    dispatch(e);
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  running_ = false;
+  return n;
+}
+
+}  // namespace opc

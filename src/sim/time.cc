@@ -1,0 +1,30 @@
+#include "sim/time.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace opc {
+namespace {
+
+std::string format_nanos(std::int64_t ns) {
+  char buf[64];
+  const std::int64_t abs_ns = ns < 0 ? -ns : ns;
+  if (abs_ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  } else if (abs_ns >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ns / 1e6);
+  } else if (abs_ns >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(SimTime t) { return format_nanos(t.count_nanos()); }
+std::string to_string(Duration d) { return format_nanos(d.count_nanos()); }
+
+}  // namespace opc

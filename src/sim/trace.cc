@@ -1,0 +1,87 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace opc {
+
+std::string_view trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kMessageSend: return "SEND";
+    case TraceKind::kMessageRecv: return "RECV";
+    case TraceKind::kMessageDrop: return "DROP";
+    case TraceKind::kLogForceStart: return "FORCE";
+    case TraceKind::kLogForceDone: return "FORCED";
+    case TraceKind::kLogLazyWrite: return "LAZY";
+    case TraceKind::kLockWait: return "LK-WAIT";
+    case TraceKind::kLockGrant: return "LK-GRANT";
+    case TraceKind::kLockRelease: return "LK-REL";
+    case TraceKind::kTxnBegin: return "BEGIN";
+    case TraceKind::kTxnCommit: return "COMMIT";
+    case TraceKind::kTxnAbort: return "ABORT";
+    case TraceKind::kCrash: return "CRASH";
+    case TraceKind::kReboot: return "REBOOT";
+    case TraceKind::kRecoveryStep: return "RECOVER";
+    case TraceKind::kFence: return "FENCE";
+    case TraceKind::kClientReply: return "REPLY";
+    case TraceKind::kInfo: return "INFO";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+}  // namespace
+
+std::uint64_t TraceRecorder::history_hash() const {
+  std::uint64_t h = kFnvOffset;
+  for (const TraceEvent& e : events_) {
+    const std::int64_t t = e.at.count_nanos();
+    fnv_bytes(h, &t, sizeof(t));
+    const auto k = static_cast<std::uint8_t>(e.kind);
+    fnv_bytes(h, &k, sizeof(k));
+    fnv_bytes(h, e.actor.data(), e.actor.size());
+    fnv_bytes(h, e.detail.data(), e.detail.size());
+    fnv_bytes(h, &e.txn, sizeof(e.txn));
+  }
+  return h;
+}
+
+std::vector<TraceEvent> TraceRecorder::for_txn(std::uint64_t txn) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.txn == txn) out.push_back(e);
+  }
+  return out;
+}
+
+std::string TraceRecorder::render() const {
+  std::string out;
+  out.reserve(events_.size() * 64);
+  char buf[160];
+  for (const TraceEvent& e : events_) {
+    std::snprintf(buf, sizeof(buf), "[%12.3fus] %-8s %-12s ",
+                  e.at.to_micros_f(),
+                  std::string(trace_kind_name(e.kind)).c_str(),
+                  e.actor.c_str());
+    out += buf;
+    out += e.detail;
+    if (e.txn != 0) {
+      std::snprintf(buf, sizeof(buf), "  (txn %llu)",
+                    static_cast<unsigned long long>(e.txn));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace opc

@@ -1,0 +1,19 @@
+#include "stats/counters.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace opc {
+
+std::string StatsRegistry::dump() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%-40s = %" PRId64 "\n", name.c_str(),
+                  value);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace opc

@@ -1,0 +1,55 @@
+// Named counter registry.
+//
+// Protocol instrumentation (message counts, forced vs. lazy log writes,
+// aborts, lock waits…) funnels through a StatsRegistry so the Table I bench
+// can read back exact counts without the protocol code knowing who consumes
+// them.  Names are hierarchical by convention: "acp.msgs.total",
+// "wal.force.count", "lock.timeout_aborts".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace opc {
+
+class StatsRegistry {
+ public:
+  /// Adds `delta` to the named counter, creating it at zero if absent.
+  void add(std::string_view name, std::int64_t delta = 1) {
+    counters_[std::string(name)] += delta;
+  }
+
+  /// Current value; zero for counters never touched.
+  [[nodiscard]] std::int64_t get(std::string_view name) const {
+    auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Sets a counter to an absolute value (used for gauges).
+  void set(std::string_view name, std::int64_t value) {
+    counters_[std::string(name)] = value;
+  }
+
+  /// All counters, sorted by name (std::map keeps them ordered), which makes
+  /// dumps deterministic.
+  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const {
+    return counters_;
+  }
+
+  /// Sums every counter from `other` into this registry.
+  void merge(const StatsRegistry& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+
+  void clear() { counters_.clear(); }
+
+  /// Multi-line "name = value" dump, sorted by name.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+}  // namespace opc

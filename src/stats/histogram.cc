@@ -1,0 +1,108 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/check.h"
+
+namespace opc {
+
+int Histogram::bin_index(double v) {
+  // v > 0 guaranteed by caller.  log2(v) * kBinsPerOctave, floored.
+  return static_cast<int>(std::floor(std::log2(v) * kBinsPerOctave));
+}
+
+double Histogram::bin_lower(int idx) {
+  return std::exp2(static_cast<double>(idx) / kBinsPerOctave);
+}
+
+double Histogram::bin_upper(int idx) {
+  return std::exp2(static_cast<double>(idx + 1) / kBinsPerOctave);
+}
+
+void Histogram::record(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (value <= 0.0) {
+    ++zero_or_negative_;
+    return;
+  }
+  const int idx = bin_index(value);
+  // Shift so index 0 covers 1.0; values below 1 ns land in the
+  // zero_or_negative bucket's neighbourhood — clamp them to bin 0.
+  const int slot = std::max(idx, 0);
+  if (static_cast<std::size_t>(slot) >= bins_.size()) {
+    bins_.resize(static_cast<std::size_t>(slot) + 1, 0);
+  }
+  ++bins_[static_cast<std::size_t>(slot)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  zero_or_negative_ += other.zero_or_negative_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0);
+  for (std::size_t i = 0; i < other.bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  SIM_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  std::uint64_t seen = zero_or_negative_;
+  if (target < seen) return std::min(0.0, min_);
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    if (seen + bins_[i] > target) {
+      const double lo = std::max(bin_lower(static_cast<int>(i)), min_);
+      const double hi = std::min(bin_upper(static_cast<int>(i)), max_);
+      const double frac =
+          static_cast<double>(target - seen) / static_cast<double>(bins_[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen += bins_[i];
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%s p50=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                to_string(mean_duration()).c_str(),
+                to_string(quantile_duration(0.50)).c_str(),
+                to_string(quantile_duration(0.99)).c_str(),
+                to_string(Duration::nanos(static_cast<std::int64_t>(max()))).c_str());
+  return buf;
+}
+
+}  // namespace opc

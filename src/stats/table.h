@@ -1,0 +1,43 @@
+// ASCII table / CSV rendering for bench and example output.
+//
+// The benches print the same rows/series the paper reports; TextTable keeps
+// that output aligned and diff-friendly without dragging in a formatting
+// library.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace opc {
+
+class TextTable {
+ public:
+  /// Column headers define the table width; every row must match.
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed literal rows.
+  void add_row(std::initializer_list<std::string> cells) {
+    add_row(std::vector<std::string>(cells));
+  }
+
+  /// Aligned, boxed ASCII rendering.
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-ish CSV rendering (fields with commas/quotes get quoted).
+  [[nodiscard]] std::string render_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `prec` decimals (helper for numeric cells).
+  [[nodiscard]] static std::string num(double v, int prec = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace opc

@@ -1,0 +1,87 @@
+#include "storage/disk.h"
+
+#include <utility>
+
+namespace opc {
+
+void Disk::write(NodeId owner, std::uint64_t size_bytes, std::string kind,
+                 Completion on_durable) {
+  SIM_CHECK(on_durable != nullptr);
+  stats_.add("disk." + name_ + ".writes");
+  queue_.push_back(Request{owner, size_bytes, std::move(kind), /*is_read=*/false,
+                           std::move(on_durable), next_id_++});
+  maybe_start();
+}
+
+void Disk::read(NodeId owner, std::uint64_t size_bytes, std::string kind,
+                Completion on_done) {
+  SIM_CHECK(on_done != nullptr);
+  stats_.add("disk." + name_ + ".reads");
+  queue_.push_back(Request{owner, size_bytes, std::move(kind), /*is_read=*/true,
+                           std::move(on_done), next_id_++});
+  maybe_start();
+}
+
+void Disk::cancel_owner(NodeId owner) {
+  std::size_t dropped = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->owner == owner) {
+      it = queue_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (in_service_ && in_service_owner_ == owner && !in_service_cancelled_) {
+    // The transfer aborts mid-stream: the device stays "busy" until the
+    // scheduled finish event (a sub-millisecond detail), but the completion
+    // is suppressed so the record is not durable.
+    in_service_cancelled_ = true;
+    ++dropped;
+  }
+  if (dropped > 0) {
+    stats_.add("disk." + name_ + ".cancelled",
+               static_cast<std::int64_t>(dropped));
+  }
+}
+
+void Disk::maybe_start() {
+  if (in_service_ || queue_.empty()) return;
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+
+  in_service_ = true;
+  in_service_id_ = req.id;
+  in_service_owner_ = req.owner;
+  in_service_cancelled_ = false;
+  in_service_done_ = std::move(req.done);
+  in_service_kind_ = req.kind;
+  service_started_ = sim_.now();
+
+  trace_.record(sim_.now(), TraceKind::kLogForceStart, name_,
+                req.kind + (req.is_read ? " [read]" : ""));
+  const Duration svc = service_time(req.size);
+  const std::uint64_t id = req.id;
+  sim_.schedule_after(svc, [this, id] { finish(id); });
+}
+
+void Disk::finish(std::uint64_t id) {
+  SIM_CHECK(in_service_ && in_service_id_ == id);
+  busy_time_ += sim_.now() - service_started_;
+  const bool cancelled = in_service_cancelled_;
+  Completion done = std::move(in_service_done_);
+  const std::string kind = std::move(in_service_kind_);
+  in_service_ = false;
+  in_service_done_ = nullptr;
+
+  if (!cancelled) {
+    trace_.record(sim_.now(), TraceKind::kLogForceDone, name_, kind);
+    stats_.add("disk." + name_ + ".completed");
+    done();
+  } else {
+    stats_.add("disk." + name_ + ".aborted_in_service");
+  }
+  maybe_start();
+}
+
+}  // namespace opc

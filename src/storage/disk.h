@@ -1,0 +1,108 @@
+// Simulated log device.
+//
+// The paper models stable storage by a single figure: the latency of a log
+// write is the block size divided by the device bandwidth (400 KB/s in the
+// evaluation; the footnote motivates folding seek/rotational costs into
+// that one number because shared-storage access is highly random).  Disk
+// reproduces that model and adds the queueing behaviour that matters when
+// 100 transactions hammer one log partition: requests are serviced strictly
+// FIFO, one at a time, so concurrent forced writes wait for the device.
+//
+// Crash semantics — on owner crash the WAL layer calls cancel_owner():
+// queued requests vanish (the data never reached the device) and the
+// in-service request is aborted without side effects (its completion
+// callback never fires, so the record is not durable).  "Durable" is
+// defined as "the completion callback ran", full stop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/types.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "stats/counters.h"
+
+namespace opc {
+
+struct DiskConfig {
+  double bytes_per_second = 400.0 * 1024.0;  // paper's 400 KB/s
+  Duration fixed_latency = Duration::zero(); // per-op overhead, if any
+};
+
+class Disk {
+ public:
+  using Completion = std::function<void()>;
+
+  Disk(Simulator& sim, std::string name, DiskConfig cfg, StatsRegistry& stats,
+       TraceRecorder& trace)
+      : sim_(sim), name_(std::move(name)), cfg_(cfg), stats_(stats),
+        trace_(trace) {}
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Enqueues a write of `size_bytes` on behalf of `owner`.  `on_durable`
+  /// fires exactly when the data is stable; it never fires if the owner is
+  /// cancelled first.
+  void write(NodeId owner, std::uint64_t size_bytes, std::string kind,
+             Completion on_durable);
+
+  /// Enqueues a read of `size_bytes` (used for recovery-time log scans).
+  void read(NodeId owner, std::uint64_t size_bytes, std::string kind,
+            Completion on_done);
+
+  /// Drops every pending and in-service request from `owner` (crash/fence).
+  /// Their completions never fire.
+  void cancel_owner(NodeId owner);
+
+  /// Service time for a request of the given size under this configuration.
+  [[nodiscard]] Duration service_time(std::uint64_t size_bytes) const {
+    return cfg_.fixed_latency +
+           Duration::from_seconds_f(static_cast<double>(size_bytes) /
+                                    cfg_.bytes_per_second);
+  }
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] bool busy() const { return in_service_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const DiskConfig& config() const { return cfg_; }
+
+  /// Total simulated time the device spent servicing requests.
+  [[nodiscard]] Duration busy_time() const { return busy_time_; }
+
+ private:
+  struct Request {
+    NodeId owner;
+    std::uint64_t size;
+    std::string kind;
+    bool is_read;
+    Completion done;
+    std::uint64_t id;
+  };
+
+  void maybe_start();
+  void finish(std::uint64_t id);
+
+  Simulator& sim_;
+  std::string name_;
+  DiskConfig cfg_;
+  StatsRegistry& stats_;
+  TraceRecorder& trace_;
+  std::deque<Request> queue_;
+  bool in_service_ = false;
+  std::uint64_t in_service_id_ = 0;
+  NodeId in_service_owner_;
+  bool in_service_cancelled_ = false;
+  SimTime service_started_ = SimTime::zero();
+  Duration busy_time_ = Duration::zero();
+  std::uint64_t next_id_ = 1;
+  // Retained across cancel: completion of the current (possibly cancelled)
+  // request is found by id.
+  Completion in_service_done_;
+  std::string in_service_kind_;
+};
+
+}  // namespace opc

@@ -1,0 +1,130 @@
+#include "wal/log_writer.h"
+
+#include <utility>
+
+namespace opc {
+
+std::uint64_t LogWriter::padded(std::uint64_t bytes) const {
+  if (cfg_.force_pad_to == 0) return bytes;
+  const std::uint64_t blocks =
+      (bytes + cfg_.force_pad_to - 1) / cfg_.force_pad_to;
+  return std::max<std::uint64_t>(blocks, 1) * cfg_.force_pad_to;
+}
+
+void LogWriter::force(std::vector<LogRecord> recs, WriteTag tag,
+                      std::function<void()> on_durable) {
+  SIM_CHECK(on_durable != nullptr);
+  if (crashed_ || part_.fenced()) {
+    stats_.add("wal.force.dropped");
+    return;  // the continuation is intentionally lost
+  }
+  stats_.add("wal.force.count");
+  if (tag.critical) stats_.add("wal.force.critical");
+
+  // Piggyback: lazily buffered records ride this force's block for free.
+  if (!lazy_buf_.empty()) {
+    recs.insert(recs.begin(), std::make_move_iterator(lazy_buf_.begin()),
+                std::make_move_iterator(lazy_buf_.end()));
+    lazy_buf_.clear();
+    sim_.cancel(lazy_flush_timer_);
+    lazy_flush_timer_ = EventHandle{};
+  }
+
+  PendingForce pf{std::move(recs), std::move(on_durable)};
+  if (cfg_.group_commit && force_in_flight_) {
+    coalesce_queue_.push_back(std::move(pf));
+    stats_.add("wal.force.coalesced");
+    return;
+  }
+  std::vector<PendingForce> batch;
+  batch.push_back(std::move(pf));
+  submit(std::move(batch));
+}
+
+void LogWriter::submit(std::vector<PendingForce> batch) {
+  std::uint64_t bytes = 0;
+  std::string label = "force:" + owner_.str();
+  for (const auto& pf : batch) {
+    for (const auto& r : pf.recs) {
+      bytes += r.modeled_bytes;
+      label += ' ';
+      label += record_type_name(r.type);
+    }
+  }
+  bytes = padded(bytes);
+  stats_.add("wal.force.bytes", static_cast<std::int64_t>(bytes));
+
+  force_in_flight_ = true;
+  const std::uint64_t epoch = crash_epoch_;
+  part_.device().write(
+      owner_, bytes, std::move(label),
+      [this, epoch, batch = std::move(batch)]() mutable {
+        // cancel_owner() suppresses this callback on crash/fence, but guard
+        // against a crash+reboot cycle that raced the disk completion.
+        if (epoch != crash_epoch_ || crashed_) return;
+        for (auto& pf : batch) {
+          part_.append_durable(std::move(pf.recs));
+        }
+        force_in_flight_ = false;
+        // Run continuations after the durable append so they observe the
+        // records in the partition.
+        for (auto& pf : batch) pf.done();
+        if (!coalesce_queue_.empty()) {
+          auto next = std::move(coalesce_queue_);
+          coalesce_queue_.clear();
+          submit(std::move(next));
+        }
+      });
+}
+
+void LogWriter::lazy(LogRecord rec, WriteTag tag) {
+  if (crashed_ || part_.fenced()) {
+    stats_.add("wal.lazy.dropped");
+    return;
+  }
+  stats_.add("wal.lazy.count");
+  if (tag.critical) stats_.add("wal.lazy.critical");
+  trace_.record(sim_.now(), TraceKind::kLogLazyWrite, owner_.str(),
+                "lazy " + std::string(record_type_name(rec.type)) + " (" +
+                    tag.label + ")",
+                rec.txn);
+  lazy_buf_.push_back(std::move(rec));
+  schedule_lazy_flush();
+}
+
+void LogWriter::schedule_lazy_flush() {
+  if (lazy_flush_timer_.valid()) return;
+  lazy_flush_timer_ = sim_.schedule_after(cfg_.lazy_flush_interval, [this] {
+    lazy_flush_timer_ = EventHandle{};
+    if (lazy_buf_.empty() || crashed_ || part_.fenced()) return;
+    auto recs = std::move(lazy_buf_);
+    lazy_buf_.clear();
+    if (cfg_.lazy_flush_occupies_device) {
+      std::uint64_t bytes = 0;
+      for (const auto& r : recs) bytes += r.modeled_bytes;
+      const std::uint64_t epoch = crash_epoch_;
+      part_.device().write(owner_, padded(bytes), "lazyflush:" + owner_.str(),
+                           [this, epoch, recs = std::move(recs)]() mutable {
+                             if (epoch != crash_epoch_ || crashed_) return;
+                             part_.append_durable(std::move(recs));
+                           });
+    } else {
+      // Background flush modeled as free: the device would absorb these in
+      // idle gaps; see DESIGN.md §5 (asynchronous writes coalesce).
+      part_.append_durable(std::move(recs));
+    }
+  });
+}
+
+void LogWriter::crash() {
+  crashed_ = true;
+  ++crash_epoch_;
+  part_.device().cancel_owner(owner_);
+  lazy_buf_.clear();
+  coalesce_queue_.clear();
+  force_in_flight_ = false;
+  sim_.cancel(lazy_flush_timer_);
+  lazy_flush_timer_ = EventHandle{};
+}
+
+}  // namespace opc

@@ -1,0 +1,118 @@
+#include "wal/partition.h"
+
+#include <algorithm>
+
+namespace opc {
+namespace {
+
+bool is_state_record(RecordType t) {
+  switch (t) {
+    case RecordType::kStarted:
+    case RecordType::kPrepared:
+    case RecordType::kCommitted:
+    case RecordType::kAborted:
+    case RecordType::kEnded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<LogRecord> LogPartition::records_for(std::uint64_t txn) const {
+  std::vector<LogRecord> out;
+  for (const auto& r : records_) {
+    if (r.txn == txn) out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<RecordType> LogPartition::last_state_for(
+    std::uint64_t txn) const {
+  std::optional<RecordType> last;
+  for (const auto& r : records_) {
+    if (r.txn == txn && is_state_record(r.type)) last = r.type;
+  }
+  return last;
+}
+
+bool LogPartition::has_record(std::uint64_t txn, RecordType t) const {
+  return std::any_of(records_.begin(), records_.end(), [&](const LogRecord& r) {
+    return r.txn == txn && r.type == t;
+  });
+}
+
+std::vector<std::uint64_t> LogPartition::live_transactions() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& r : records_) {
+    if (r.txn != 0 && std::find(out.begin(), out.end(), r.txn) == out.end()) {
+      out.push_back(r.txn);
+    }
+  }
+  return out;
+}
+
+void LogPartition::truncate_txn(std::uint64_t txn) {
+  std::erase_if(records_, [txn](const LogRecord& r) { return r.txn == txn; });
+}
+
+std::uint64_t LogPartition::modeled_size() const {
+  std::uint64_t sum = 0;
+  for (const auto& r : records_) sum += r.modeled_bytes;
+  return sum;
+}
+
+LogPartition& SharedStorage::add_partition(NodeId node, DiskConfig disk_cfg) {
+  SIM_CHECK_MSG(!parts_.contains(node), "partition already exists");
+  auto part =
+      std::make_unique<LogPartition>(sim_, node, disk_cfg, stats_, trace_);
+  auto& ref = *part;
+  parts_.emplace(node, std::move(part));
+  return ref;
+}
+
+LogPartition& SharedStorage::partition(NodeId node) {
+  auto it = parts_.find(node);
+  SIM_CHECK_MSG(it != parts_.end(), "unknown partition");
+  return *it->second;
+}
+
+const LogPartition& SharedStorage::partition(NodeId node) const {
+  auto it = parts_.find(node);
+  SIM_CHECK_MSG(it != parts_.end(), "unknown partition");
+  return *it->second;
+}
+
+void SharedStorage::fence(NodeId node) {
+  LogPartition& p = partition(node);
+  if (p.fenced()) return;
+  p.set_fenced(true);
+  p.device().cancel_owner(node);
+  stats_.add("storage.fences");
+  trace_.record(sim_.now(), TraceKind::kFence, node.str(),
+                "partition fenced");
+}
+
+void SharedStorage::unfence(NodeId node) {
+  LogPartition& p = partition(node);
+  if (!p.fenced()) return;
+  p.set_fenced(false);
+  stats_.add("storage.unfences");
+  trace_.record(sim_.now(), TraceKind::kFence, node.str(),
+                "partition unfenced");
+}
+
+void SharedStorage::read_partition(
+    NodeId reader, NodeId target,
+    std::function<void(std::vector<LogRecord>)> on_done) {
+  LogPartition& p = partition(target);
+  stats_.add("storage.reads");
+  if (!p.fenced()) stats_.add("storage.reads.unfenced");
+  // Scan cost: at least one device block even for an empty partition.
+  const std::uint64_t bytes = std::max<std::uint64_t>(p.modeled_size(), 4096);
+  p.device().read(reader, bytes, "scan." + reader.str(),
+                  [&p, cb = std::move(on_done)] { cb(p.records()); });
+}
+
+}  // namespace opc

@@ -1,0 +1,129 @@
+// Per-MDS log partitions on centrally shared storage.
+//
+// The 1PC protocol's key architectural assumption (paper §III-A): every MDS
+// keeps its write-ahead log in a separate partition of a central storage
+// device (SAN); any MDS can mount and read any partition, but only the
+// owner writes it.  SharedStorage models that device: it owns one
+// LogPartition (durable record store + a bandwidth-modeled Disk queue) per
+// node, plus the fencing state that makes foreign reads safe.
+//
+// Durability rule: a record is in `records()` iff the disk completion for
+// the write that carried it fired before any crash/fence cancelled it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.h"
+#include "storage/disk.h"
+#include "wal/record.h"
+
+namespace opc {
+
+/// Durable record store for one MDS.
+class LogPartition {
+ public:
+  LogPartition(Simulator& sim, NodeId owner, DiskConfig disk_cfg,
+               StatsRegistry& stats, TraceRecorder& trace)
+      : owner_(owner),
+        device_(sim, "log." + owner.str(), disk_cfg, stats, trace) {}
+
+  [[nodiscard]] NodeId owner() const { return owner_; }
+  [[nodiscard]] Disk& device() { return device_; }
+  [[nodiscard]] const Disk& device() const { return device_; }
+
+  [[nodiscard]] bool fenced() const { return fenced_; }
+  void set_fenced(bool f) { fenced_ = f; }
+
+  /// Appends records that have just become durable.
+  void append_durable(std::vector<LogRecord> recs) {
+    for (auto& r : recs) records_.push_back(std::move(r));
+  }
+
+  [[nodiscard]] const std::vector<LogRecord>& records() const {
+    return records_;
+  }
+
+  /// All durable records of one transaction, in log order.
+  [[nodiscard]] std::vector<LogRecord> records_for(std::uint64_t txn) const;
+
+  /// The latest *state* record (STARTED/PREPARED/COMMITTED/ABORTED/ENDED)
+  /// for a transaction; nullopt if the log holds nothing for it (possibly
+  /// because it was checkpointed away — the protocols reason about exactly
+  /// this case).
+  [[nodiscard]] std::optional<RecordType> last_state_for(
+      std::uint64_t txn) const;
+
+  /// True if a record of this type exists for the transaction.
+  [[nodiscard]] bool has_record(std::uint64_t txn, RecordType t) const;
+
+  /// Transaction ids that still have records in the log (not checkpointed),
+  /// in first-appearance order — the recovery scan's work list.
+  [[nodiscard]] std::vector<std::uint64_t> live_transactions() const;
+
+  /// Checkpoint + garbage collect: drops all records of `txn`.
+  void truncate_txn(std::uint64_t txn);
+
+  /// Sum of modeled bytes currently in the partition (drives foreign-read
+  /// scan timing).
+  [[nodiscard]] std::uint64_t modeled_size() const;
+
+ private:
+  NodeId owner_;
+  Disk device_;
+  bool fenced_ = false;
+  std::vector<LogRecord> records_;
+};
+
+/// The central storage device: all partitions plus fencing.
+class SharedStorage {
+ public:
+  SharedStorage(Simulator& sim, StatsRegistry& stats, TraceRecorder& trace)
+      : sim_(sim), stats_(stats), trace_(trace) {}
+
+  SharedStorage(const SharedStorage&) = delete;
+  SharedStorage& operator=(const SharedStorage&) = delete;
+
+  /// Creates the partition for a node.  Must be called once per node before
+  /// any logging.
+  LogPartition& add_partition(NodeId node, DiskConfig disk_cfg);
+
+  [[nodiscard]] LogPartition& partition(NodeId node);
+  [[nodiscard]] const LogPartition& partition(NodeId node) const;
+  [[nodiscard]] bool has_partition(NodeId node) const {
+    return parts_.contains(node);
+  }
+
+  /// Fences a node: its queued and future writes are rejected.  This is the
+  /// STONITH / persistent-reservation effect on the storage side; the
+  /// FencingController drives the node-side power cycle.
+  void fence(NodeId node);
+
+  /// Lifts the fence (after the node rebooted and re-registered).
+  void unfence(NodeId node);
+
+  [[nodiscard]] bool is_fenced(NodeId node) const {
+    return parts_.contains(node) && parts_.at(node)->fenced();
+  }
+
+  /// Asynchronously reads a (possibly foreign) partition: models a scan of
+  /// the target's log through the target device queue, then hands a snapshot
+  /// of the durable records to `on_done`.  If the target is not fenced the
+  /// read still proceeds mechanically — real hardware would not stop it —
+  /// but it is counted under "storage.reads.unfenced" so tests can assert
+  /// the 1PC recovery never performs one (split-brain safety).
+  void read_partition(NodeId reader, NodeId target,
+                      std::function<void(std::vector<LogRecord>)> on_done);
+
+ private:
+  Simulator& sim_;
+  StatsRegistry& stats_;
+  TraceRecorder& trace_;
+  std::unordered_map<NodeId, std::unique_ptr<LogPartition>> parts_;
+};
+
+}  // namespace opc

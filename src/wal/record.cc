@@ -1,0 +1,129 @@
+#include "wal/record.h"
+
+#include <array>
+
+namespace opc {
+namespace {
+
+constexpr std::uint16_t kMagic = 0x1FCD;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+bool get_u16(const std::vector<std::uint8_t>& b, std::size_t& o, std::uint16_t& v) {
+  if (o + 2 > b.size()) return false;
+  v = static_cast<std::uint16_t>(b[o] | (b[o + 1] << 8));
+  o += 2;
+  return true;
+}
+bool get_u32(const std::vector<std::uint8_t>& b, std::size_t& o, std::uint32_t& v) {
+  if (o + 4 > b.size()) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[o + i]) << (8 * i);
+  o += 4;
+  return true;
+}
+bool get_u64(const std::vector<std::uint8_t>& b, std::size_t& o, std::uint64_t& v) {
+  if (o + 8 > b.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[o + i]) << (8 * i);
+  o += 8;
+  return true;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::string_view record_type_name(RecordType t) {
+  switch (t) {
+    case RecordType::kStarted: return "STARTED";
+    case RecordType::kPrepared: return "PREPARED";
+    case RecordType::kCommitted: return "COMMITTED";
+    case RecordType::kAborted: return "ABORTED";
+    case RecordType::kEnded: return "ENDED";
+    case RecordType::kRedo: return "REDO";
+    case RecordType::kUpdate: return "UPDATE";
+    case RecordType::kCheckpoint: return "CHECKPOINT";
+  }
+  return "?";
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n, std::uint32_t seed) {
+  const auto& t = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = t[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encode_record(const LogRecord& rec, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  put_u16(out, kMagic);
+  out.push_back(static_cast<std::uint8_t>(rec.type));
+  put_u32(out, rec.writer.value());
+  put_u64(out, rec.txn);
+  put_u64(out, rec.modeled_bytes);
+  put_u32(out, static_cast<std::uint32_t>(rec.payload.size()));
+  out.insert(out.end(), rec.payload.begin(), rec.payload.end());
+  const std::uint32_t crc = crc32(out.data() + start, out.size() - start);
+  put_u32(out, crc);
+}
+
+std::optional<LogRecord> decode_record(const std::vector<std::uint8_t>& buf,
+                                       std::size_t& offset) {
+  std::size_t o = offset;
+  std::uint16_t magic = 0;
+  if (!get_u16(buf, o, magic) || magic != kMagic) return std::nullopt;
+  if (o >= buf.size()) return std::nullopt;
+  const auto type = static_cast<RecordType>(buf[o++]);
+  if (static_cast<std::uint8_t>(type) < 1 || static_cast<std::uint8_t>(type) > 8) {
+    return std::nullopt;
+  }
+  std::uint32_t writer = 0;
+  std::uint64_t txn = 0;
+  std::uint64_t modeled = 0;
+  std::uint32_t len = 0;
+  if (!get_u32(buf, o, writer) || !get_u64(buf, o, txn) ||
+      !get_u64(buf, o, modeled) || !get_u32(buf, o, len)) {
+    return std::nullopt;
+  }
+  if (o + len + 4 > buf.size()) return std::nullopt;
+  LogRecord rec;
+  rec.type = type;
+  rec.writer = NodeId(writer);
+  rec.txn = txn;
+  rec.modeled_bytes = modeled;
+  rec.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(o),
+                     buf.begin() + static_cast<std::ptrdiff_t>(o + len));
+  o += len;
+  const std::uint32_t want = crc32(buf.data() + offset, o - offset);
+  std::uint32_t got = 0;
+  if (!get_u32(buf, o, got) || got != want) return std::nullopt;
+  offset = o;
+  return rec;
+}
+
+}  // namespace opc

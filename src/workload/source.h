@@ -1,0 +1,190 @@
+// Workload sources — the ACID Sim Tools "source" + "leave" modules.
+//
+// A source drives one coordinator MDS with a closed loop of namespace
+// operations: `concurrency` transactions are kept outstanding; each
+// completion immediately triggers the next submission (and aborted
+// operations are re-submitted, matching the simulator the paper used, whose
+// leave module "resubmits aborted transactions to the responsible source").
+//
+// An optional client-side watchdog re-issues work when a reply never
+// arrives (coordinator crash) so closed loops survive failure injection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mds/namespace.h"
+#include "stats/meter.h"
+
+namespace opc {
+
+struct SourceConfig {
+  std::uint32_t concurrency = 100;  // paper's Fig. 6 value
+  std::uint64_t max_ops = 0;        // 0 = unbounded (run to deadline)
+  Duration think_time = Duration::zero();
+  Duration client_timeout = Duration::zero();  // 0 = trust the cluster
+  bool resubmit_aborted = true;
+  /// Pause before re-submitting after an abort; keeps failure storms from
+  /// degenerating into tight retry loops against a struggling server.
+  Duration retry_backoff = Duration::millis(5);
+};
+
+/// Closed-loop source skeleton; subclasses produce the transactions.
+class ClosedLoopSource {
+ public:
+  ClosedLoopSource(Simulator& sim, Cluster& cluster, SourceConfig cfg,
+                   ThroughputMeter& meter, StatsRegistry& stats)
+      : sim_(sim), cluster_(cluster), cfg_(cfg), meter_(meter),
+        stats_(stats) {}
+  virtual ~ClosedLoopSource() = default;
+
+  ClosedLoopSource(const ClosedLoopSource&) = delete;
+  ClosedLoopSource& operator=(const ClosedLoopSource&) = delete;
+
+  /// Fires `concurrency` initial submissions.
+  void start();
+
+  /// Stops issuing new work; in-flight transactions drain naturally.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t committed() const { return committed_; }
+  [[nodiscard]] std::uint64_t aborted() const { return aborted_; }
+  [[nodiscard]] std::uint64_t lost() const { return lost_; }
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+
+ protected:
+  /// Produces the next transaction, or false when the workload is
+  /// exhausted.  `retry` is true when re-issuing after an abort/loss.
+  virtual bool make_txn(Transaction& out, bool retry) = 0;
+
+  /// Outcome hook for subclasses that track a client-side namespace image.
+  virtual void on_outcome(const Transaction& txn, TxnOutcome outcome) {
+    (void)txn;
+    (void)outcome;
+  }
+
+  Simulator& sim_;
+  Cluster& cluster_;
+
+ private:
+  void issue(bool retry);
+  void complete(const Transaction& txn, TxnOutcome outcome,
+                std::uint64_t watchdog_gen);
+
+  SourceConfig cfg_;
+  ThroughputMeter& meter_;
+  StatsRegistry& stats_;
+  std::unordered_set<std::uint64_t> outstanding_;
+  bool stopped_ = false;
+  std::uint64_t issued_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t watchdog_gen_ = 0;
+};
+
+/// The paper's Figure 6 workload: an HPC application creating many files in
+/// one (hot) directory, with every create a two-MDS distributed
+/// transaction.
+class CreateStormSource final : public ClosedLoopSource {
+ public:
+  CreateStormSource(Simulator& sim, Cluster& cluster, SourceConfig cfg,
+                    ThroughputMeter& meter, StatsRegistry& stats,
+                    NamespacePlanner& planner, IdAllocator& ids,
+                    ObjectId directory, std::string name_prefix = "f",
+                    std::uint32_t batch = 1)
+      : ClosedLoopSource(sim, cluster, cfg, meter, stats), planner_(planner),
+        ids_(ids), dir_(directory), prefix_(std::move(name_prefix)),
+        batch_(batch) {}
+
+ protected:
+  bool make_txn(Transaction& out, bool retry) override;
+
+ private:
+  NamespacePlanner& planner_;
+  IdAllocator& ids_;
+  ObjectId dir_;
+  std::string prefix_;
+  std::uint32_t batch_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Open-loop source: namespace operations arrive as a Poisson process at a
+/// configured rate, regardless of completions — the standard way to
+/// measure latency as a function of offered load (closed loops hide
+/// queueing delay behind their self-throttling).  Operations are
+/// distributed CREATEs into one hot directory, like the Figure 6 storm.
+class OpenLoopCreateSource {
+ public:
+  OpenLoopCreateSource(Simulator& sim, Cluster& cluster, double ops_per_second,
+                       ThroughputMeter& meter, StatsRegistry& stats,
+                       NamespacePlanner& planner, IdAllocator& ids,
+                       ObjectId directory, std::uint64_t seed);
+
+  /// Starts the arrival process; it stops itself at `stop_at`.
+  void start(SimTime stop_at);
+
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t committed() const { return committed_; }
+  /// Client-visible latency of committed operations.
+  [[nodiscard]] const Histogram& latency() const { return latency_; }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  Cluster& cluster_;
+  Duration mean_interarrival_;
+  ThroughputMeter& meter_;
+  StatsRegistry& stats_;
+  NamespacePlanner& planner_;
+  IdAllocator& ids_;
+  ObjectId dir_;
+  Rng rng_;
+  SimTime stop_at_;
+  Histogram latency_;
+  std::uint64_t issued_ = 0;
+  std::uint64_t committed_ = 0;
+};
+
+/// Mixed namespace workload over a set of directories: CREATE / DELETE /
+/// RENAME with configurable ratios.  RENAME can touch up to four MDSs,
+/// exercising the hybrid 1PC -> PrN fallback.
+class MixedSource final : public ClosedLoopSource {
+ public:
+  struct Mix {
+    double create = 0.70;
+    double remove = 0.25;  // rest is rename
+  };
+
+  MixedSource(Simulator& sim, Cluster& cluster, SourceConfig cfg,
+              ThroughputMeter& meter, StatsRegistry& stats,
+              NamespacePlanner& planner, IdAllocator& ids,
+              std::vector<ObjectId> directories, Mix mix, std::uint64_t seed);
+
+ protected:
+  bool make_txn(Transaction& out, bool retry) override;
+  void on_outcome(const Transaction& txn, TxnOutcome outcome) override;
+
+ private:
+  struct FileRef {
+    ObjectId dir;
+    std::string name;
+    ObjectId inode;
+  };
+
+  NamespacePlanner& planner_;
+  IdAllocator& ids_;
+  std::vector<ObjectId> dirs_;
+  Mix mix_;
+  Rng rng_;
+  std::vector<FileRef> files_;            // committed, not in flight
+  std::unordered_set<std::uint64_t> busy_inodes_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace opc

@@ -1,0 +1,256 @@
+// 1PC-specific behaviour: the shared-log recovery with fencing (paper
+// §III-A/C), including the split-brain scenario the centralized-storage
+// architecture exists to solve.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "mds/namespace.h"
+
+namespace opc {
+namespace {
+
+struct OnePcFixture {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace{false};
+  ClusterConfig cc;
+  std::unique_ptr<Cluster> cluster;
+  IdAllocator ids;
+  std::unique_ptr<PinnedPartitioner> part;
+  std::unique_ptr<NamespacePlanner> planner;
+  ObjectId dir;
+
+  explicit OnePcFixture(bool heartbeats = false) {
+    cc.n_nodes = 2;
+    cc.protocol = ProtocolKind::kOnePC;
+    cc.acp.response_timeout = Duration::millis(300);
+    cc.acp.retry_interval = Duration::millis(100);
+    if (heartbeats) {
+      cc.heartbeat.enabled = true;
+      cc.heartbeat.interval = Duration::millis(50);
+      cc.heartbeat.suspicion_timeout = Duration::millis(200);
+    }
+    cluster = std::make_unique<Cluster>(sim, cc, stats, trace);
+    dir = ids.next();
+    part = std::make_unique<PinnedPartitioner>(2, NodeId(1));
+    part->assign(dir, NodeId(0));
+    cluster->bootstrap_directory(dir, NodeId(0));
+    planner = std::make_unique<NamespacePlanner>(*part, OpCosts{});
+  }
+};
+
+// Worker dies after committing but before UPDATED reaches the coordinator:
+// the coordinator must fence, read the worker's log, find COMMITTED, and
+// commit — not abort.
+TEST(OnePcFencing, WorkerCommittedLogForcesCommitDecision) {
+  OnePcFixture f;
+  TxnOutcome outcome = TxnOutcome::kPending;
+  const ObjectId inode = f.ids.next();
+  f.cluster->submit(f.planner->plan_create(f.dir, "w", inode, false),
+                    [&](TxnId, TxnOutcome o) { outcome = o; });
+  // 1PC timeline: STARTED force ~[0,20ms]; worker commit force ~[20,40ms];
+  // UPDATED in flight ~40.3ms.  Crash the worker at 41ms: its COMMITTED is
+  // durable but the reply is about to be dropped?  No — crash *before* the
+  // reply is delivered but after the log write: kill the link first so the
+  // UPDATED is lost, then the worker.
+  f.sim.schedule_after(Duration::millis(40), [&] {
+    f.cluster->partition_pair(NodeId(0), NodeId(1));
+  });
+  f.sim.schedule_after(Duration::millis(45), [&] {
+    f.cluster->crash_node(NodeId(1));
+    f.cluster->heal_pair(NodeId(0), NodeId(1));
+  });
+  f.sim.run_until(SimTime::zero() + Duration::seconds(30));
+  ASSERT_TRUE(f.sim.idle());
+
+  EXPECT_EQ(outcome, TxnOutcome::kCommitted);
+  EXPECT_GT(f.stats.get("acp.onepc.fencing_recoveries"), 0);
+  EXPECT_GT(f.stats.get("acp.onepc.fence_commit"), 0);
+  EXPECT_TRUE(f.cluster->store(NodeId(0)).stable_lookup(f.dir, "w").has_value());
+  EXPECT_TRUE(f.cluster->store(NodeId(1)).stable_inode(inode).has_value());
+  EXPECT_TRUE(f.cluster->check_invariants({f.dir}).empty());
+}
+
+// Worker dies before its commit force completes: the fenced log is empty
+// for this transaction, so the coordinator must abort.
+TEST(OnePcFencing, EmptyWorkerLogForcesAbortDecision) {
+  OnePcFixture f;
+  TxnOutcome outcome = TxnOutcome::kPending;
+  const ObjectId inode = f.ids.next();
+  f.cluster->submit(f.planner->plan_create(f.dir, "v", inode, false),
+                    [&](TxnId, TxnOutcome o) { outcome = o; });
+  // Crash mid-commit-force (force runs ~[20,40ms]); nothing durable.
+  f.cluster->schedule_crash(NodeId(1), Duration::millis(30));
+  f.sim.run_until(SimTime::zero() + Duration::seconds(30));
+  ASSERT_TRUE(f.sim.idle());
+
+  EXPECT_EQ(outcome, TxnOutcome::kAborted);
+  EXPECT_GT(f.stats.get("acp.onepc.fence_abort"), 0);
+  EXPECT_FALSE(f.cluster->store(NodeId(0)).stable_lookup(f.dir, "v").has_value());
+  EXPECT_FALSE(f.cluster->store(NodeId(1)).stable_inode(inode).has_value());
+  EXPECT_TRUE(f.cluster->check_invariants({f.dir}).empty());
+}
+
+// Split brain: the worker is ALIVE but partitioned away.  Heartbeats make
+// the coordinator suspect a crash; STONITH power-cycles the live worker and
+// fences its writes before the coordinator reads the log.  Whatever the
+// outcome, the two nodes must agree, and the read must never hit an
+// unfenced partition.
+TEST(OnePcFencing, PartitionSplitBrainStaysConsistent) {
+  for (std::int64_t cut_ms = 1; cut_ms <= 60; cut_ms += 4) {
+    OnePcFixture f(/*heartbeats=*/true);
+    const ObjectId inode = f.ids.next();
+    TxnOutcome outcome = TxnOutcome::kPending;
+    f.cluster->submit(f.planner->plan_create(f.dir, "s", inode, false),
+                      [&](TxnId, TxnOutcome o) { outcome = o; });
+    f.sim.schedule_after(Duration::millis(cut_ms), [&] {
+      f.cluster->partition_pair(NodeId(0), NodeId(1));
+    });
+    // Heal the network well after suspicion fires, so the STONITH'd worker
+    // reboots into a connected cluster.
+    f.sim.schedule_after(Duration::seconds(2), [&] {
+      f.cluster->heal_pair(NodeId(0), NodeId(1));
+    });
+    f.sim.run_until(SimTime::zero() + Duration::seconds(30));
+
+    // The 1PC safety rule: never read a live node's log without fencing.
+    EXPECT_EQ(f.stats.get("storage.reads.unfenced"),
+              f.stats.get("acp.recoveries"))
+        << "every unfenced read must be a node scanning its OWN log";
+
+    const bool dentry =
+        f.cluster->store(NodeId(0)).stable_lookup(f.dir, "s").has_value();
+    const bool ino =
+        f.cluster->store(NodeId(1)).stable_inode(inode).has_value();
+    EXPECT_EQ(dentry, ino) << "split brain at cut_ms=" << cut_ms;
+    const auto violations = f.cluster->check_invariants({f.dir});
+    EXPECT_TRUE(violations.empty())
+        << "cut_ms=" << cut_ms << "\n" << render_violations(violations);
+    if (outcome == TxnOutcome::kCommitted) {
+      EXPECT_TRUE(dentry && ino);
+    }
+    if (outcome == TxnOutcome::kAborted) {
+      EXPECT_FALSE(dentry || ino);
+    }
+  }
+}
+
+// The fenced worker's in-flight log write must be cut off: a commit force
+// racing the fence cannot become durable after the coordinator's read.
+TEST(OnePcFencing, FenceCancelsInFlightWorkerWrites) {
+  OnePcFixture f;
+  // Prime: issue a create and fence the worker mid-force.
+  f.cluster->submit(f.planner->plan_create(f.dir, "q", f.ids.next(), false),
+                    [](TxnId, TxnOutcome) {});
+  f.sim.run_until(SimTime::zero() + Duration::millis(30));  // force mid-flight
+  f.cluster->storage().fence(NodeId(1));
+  const std::size_t durable_before =
+      f.cluster->storage().partition(NodeId(1)).records().size();
+  f.sim.run_until(SimTime::zero() + Duration::millis(200));
+  const std::size_t durable_after =
+      f.cluster->storage().partition(NodeId(1)).records().size();
+  EXPECT_EQ(durable_before, durable_after)
+      << "a fenced partition accepted writes";
+}
+
+// After the fencing recovery commits, the rebooted worker must converge:
+// its AckReq gets an ACK and its log finalizes.
+TEST(OnePcFencing, RebootedWorkerFinalizesAfterFenceCommit) {
+  OnePcFixture f;
+  const ObjectId inode = f.ids.next();
+  f.cluster->submit(f.planner->plan_create(f.dir, "r", inode, false),
+                    [](TxnId, TxnOutcome) {});
+  f.sim.schedule_after(Duration::millis(40), [&] {
+    f.cluster->partition_pair(NodeId(0), NodeId(1));
+  });
+  f.sim.schedule_after(Duration::millis(45), [&] {
+    f.cluster->crash_node(NodeId(1));
+    f.cluster->heal_pair(NodeId(0), NodeId(1));
+  });
+  f.sim.run_until(SimTime::zero() + Duration::seconds(30));
+  ASSERT_TRUE(f.sim.idle());
+  EXPECT_EQ(f.cluster->engine(NodeId(1)).active_participations(), 0u);
+  // The worker's log for the transaction has been checkpointed away (only
+  // the lazy ENDED may remain, which recovery also clears on next reboot).
+  EXPECT_TRUE(f.cluster->check_invariants({f.dir}).empty());
+}
+
+// Regression: a coordinator that crashes while holding a STONITH fence must
+// release it, or the fenced worker could never reboot.
+TEST(OnePcFencing, CoordinatorCrashReleasesItsFenceHolds) {
+  OnePcFixture f;
+  f.cluster->submit(f.planner->plan_create(f.dir, "h", f.ids.next(), false),
+                    [](TxnId, TxnOutcome) {});
+  // Kill the worker mid-commit so the coordinator starts a fencing round...
+  f.cluster->schedule_crash(NodeId(1), Duration::millis(30));
+  // ...and kill the coordinator while the fence is held (fence_delay=50ms
+  // after the ~330ms response timeout).
+  f.cluster->schedule_crash(NodeId(0), Duration::millis(360),
+                            /*reboot_after=*/Duration::millis(300));
+  f.sim.run_until(SimTime::zero() + Duration::seconds(30));
+
+  EXPECT_FALSE(f.cluster->fencing().held(NodeId(1)))
+      << "fence hold leaked past the holder's crash";
+  EXPECT_TRUE(f.cluster->node(NodeId(1)).alive())
+      << "worker stuck powered off";
+  EXPECT_TRUE(f.cluster->node(NodeId(0)).alive());
+  EXPECT_TRUE(f.cluster->check_invariants({f.dir}).empty());
+}
+
+// Hybrid fallback: a 4-participant RENAME under a 1PC-configured cluster
+// must run as PrN and still commit atomically.
+TEST(HybridProtocol, FourPartyRenameFallsBackToPrN) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  ClusterConfig cc;
+  cc.n_nodes = 4;
+  cc.protocol = ProtocolKind::kOnePC;
+  Cluster cluster(sim, cc, stats, trace);
+
+  IdAllocator ids;
+  PinnedPartitioner part(4, NodeId(3));
+  const ObjectId src_dir = ids.next();
+  const ObjectId dst_dir = ids.next();
+  part.assign(src_dir, NodeId(0));
+  part.assign(dst_dir, NodeId(1));
+  cluster.bootstrap_directory(src_dir, NodeId(0));
+  cluster.bootstrap_directory(dst_dir, NodeId(1));
+  NamespacePlanner planner(part, OpCosts{});
+
+  // File inode on mds2, overwritten target inode on mds3.
+  const ObjectId moved = ids.next();
+  part.assign(moved, NodeId(2));
+  const ObjectId clobbered = ids.next();
+  part.assign(clobbered, NodeId(3));
+
+  int committed = 0;
+  cluster.submit(planner.plan_create(src_dir, "a", moved, false),
+                 [&](TxnId, TxnOutcome o) {
+                   if (o == TxnOutcome::kCommitted) ++committed;
+                 });
+  cluster.submit(planner.plan_create(dst_dir, "b", clobbered, false),
+                 [&](TxnId, TxnOutcome o) {
+                   if (o == TxnOutcome::kCommitted) ++committed;
+                 });
+  sim.run();
+  ASSERT_EQ(committed, 2);
+
+  const Transaction rename =
+      planner.plan_rename(src_dir, "a", dst_dir, "b", moved, clobbered);
+  EXPECT_EQ(rename.n_participants(), 4u);
+  TxnOutcome outcome = TxnOutcome::kPending;
+  cluster.submit(rename, [&](TxnId, TxnOutcome o) { outcome = o; });
+  sim.run();
+
+  EXPECT_EQ(outcome, TxnOutcome::kCommitted);
+  EXPECT_FALSE(cluster.store(NodeId(0)).stable_lookup(src_dir, "a").has_value());
+  EXPECT_EQ(cluster.store(NodeId(1)).stable_lookup(dst_dir, "b"), moved);
+  EXPECT_FALSE(cluster.store(NodeId(3)).stable_inode(clobbered).has_value());
+  EXPECT_TRUE(cluster.check_invariants({src_dir, dst_dir}).empty());
+  // The 4-party transaction ran as PrN: its PREPARE round is visible.
+  EXPECT_GE(stats.get("acp.msg.total"), 12);
+}
+
+}  // namespace
+}  // namespace opc

@@ -1,0 +1,201 @@
+// Crash-recovery matrix: for every protocol, crash the coordinator or the
+// worker at a dense sweep of instants covering the whole transaction
+// lifetime, reboot, and verify atomicity — the paper's §II invariants (no
+// dangling dentries, no orphaned inodes) must hold in stable state no
+// matter where the failure lands, and a client that was told "committed"
+// must find its file.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "mds/namespace.h"
+
+namespace opc {
+namespace {
+
+struct CrashCase {
+  ProtocolKind proto;
+  bool crash_coordinator;  // else crash the worker
+};
+
+class CrashMatrixTest : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(CrashMatrixTest, AtomicityHoldsAtEveryCrashPoint) {
+  const CrashCase cp = GetParam();
+  // A distributed CREATE spans ~110 ms under PrN with the paper's disk
+  // parameters; sweep well past that.
+  for (std::int64_t crash_ms = 1; crash_ms <= 140; crash_ms += 3) {
+    Simulator sim;
+    StatsRegistry stats;
+    TraceRecorder trace(false);
+    ClusterConfig cc;
+    cc.n_nodes = 2;
+    cc.protocol = cp.proto;
+    cc.acp.response_timeout = Duration::millis(300);
+    cc.acp.retry_interval = Duration::millis(100);
+    Cluster cluster(sim, cc, stats, trace);
+
+    IdAllocator ids;
+    const ObjectId dir = ids.next();
+    PinnedPartitioner part(2, NodeId(1));
+    part.assign(dir, NodeId(0));
+    cluster.bootstrap_directory(dir, NodeId(0));
+    NamespacePlanner planner(part, OpCosts{});
+    const ObjectId inode = ids.next();
+
+    TxnOutcome replied = TxnOutcome::kPending;
+    cluster.submit(planner.plan_create(dir, "x", inode, false),
+                   [&](TxnId, TxnOutcome o) { replied = o; });
+
+    const NodeId victim = cp.crash_coordinator ? NodeId(0) : NodeId(1);
+    cluster.schedule_crash(victim, Duration::millis(crash_ms),
+                           /*reboot_after=*/Duration::millis(400));
+
+    sim.run_until(SimTime::zero() + Duration::seconds(60));
+    ASSERT_TRUE(sim.idle()) << "scenario did not quiesce: proto="
+                            << protocol_name(cp.proto)
+                            << " crash_ms=" << crash_ms;
+
+    const bool dentry_present =
+        cluster.store(NodeId(0)).stable_lookup(dir, "x").has_value();
+    const bool inode_present =
+        cluster.store(NodeId(1)).stable_inode(inode).has_value();
+    EXPECT_EQ(dentry_present, inode_present)
+        << "atomicity violated: proto=" << protocol_name(cp.proto)
+        << " victim=" << victim.str() << " crash_ms=" << crash_ms;
+
+    const auto violations = cluster.check_invariants({dir});
+    EXPECT_TRUE(violations.empty())
+        << "proto=" << protocol_name(cp.proto) << " crash_ms=" << crash_ms
+        << "\n" << render_violations(violations);
+
+    if (replied == TxnOutcome::kCommitted) {
+      EXPECT_TRUE(dentry_present && inode_present)
+          << "client saw commit but effects are missing: proto="
+          << protocol_name(cp.proto) << " crash_ms=" << crash_ms;
+    }
+    if (replied == TxnOutcome::kAborted) {
+      EXPECT_FALSE(dentry_present || inode_present)
+          << "client saw abort but effects exist: proto="
+          << protocol_name(cp.proto) << " crash_ms=" << crash_ms;
+    }
+
+    // Nothing may remain in flight anywhere.
+    for (std::uint32_t n = 0; n < 2; ++n) {
+      EXPECT_EQ(cluster.engine(NodeId(n)).active_coordinations(), 0u);
+      EXPECT_EQ(cluster.engine(NodeId(n)).active_participations(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsBothVictims, CrashMatrixTest,
+    ::testing::Values(CrashCase{ProtocolKind::kPrN, true},
+                      CrashCase{ProtocolKind::kPrN, false},
+                      CrashCase{ProtocolKind::kPrC, true},
+                      CrashCase{ProtocolKind::kPrC, false},
+                      CrashCase{ProtocolKind::kEP, true},
+                      CrashCase{ProtocolKind::kEP, false},
+                      CrashCase{ProtocolKind::kOnePC, true},
+                      CrashCase{ProtocolKind::kOnePC, false},
+                      CrashCase{ProtocolKind::kPrA, true},
+                      CrashCase{ProtocolKind::kPrA, false}),
+    [](const auto& info) {
+      return std::string(protocol_name(info.param.proto)) +
+             (info.param.crash_coordinator ? "_coordinator" : "_worker");
+    });
+
+// Double-fault: coordinator AND worker crash close together.
+class DoubleCrashTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(DoubleCrashTest, BothNodesCrashingStaysAtomic) {
+  for (std::int64_t first_ms = 5; first_ms <= 120; first_ms += 10) {
+    for (std::int64_t gap_ms : {3, 30}) {
+      Simulator sim;
+      StatsRegistry stats;
+      TraceRecorder trace(false);
+      ClusterConfig cc;
+      cc.n_nodes = 2;
+      cc.protocol = GetParam();
+      cc.acp.response_timeout = Duration::millis(300);
+      cc.acp.retry_interval = Duration::millis(100);
+      Cluster cluster(sim, cc, stats, trace);
+
+      IdAllocator ids;
+      const ObjectId dir = ids.next();
+      PinnedPartitioner part(2, NodeId(1));
+      part.assign(dir, NodeId(0));
+      cluster.bootstrap_directory(dir, NodeId(0));
+      NamespacePlanner planner(part, OpCosts{});
+      const ObjectId inode = ids.next();
+
+      cluster.submit(planner.plan_create(dir, "y", inode, false),
+                     [](TxnId, TxnOutcome) {});
+      cluster.schedule_crash(NodeId(0), Duration::millis(first_ms),
+                             Duration::millis(500));
+      cluster.schedule_crash(NodeId(1), Duration::millis(first_ms + gap_ms),
+                             Duration::millis(500));
+
+      sim.run_until(SimTime::zero() + Duration::seconds(60));
+      ASSERT_TRUE(sim.idle());
+
+      const bool dentry_present =
+          cluster.store(NodeId(0)).stable_lookup(dir, "y").has_value();
+      const bool inode_present =
+          cluster.store(NodeId(1)).stable_inode(inode).has_value();
+      EXPECT_EQ(dentry_present, inode_present)
+          << "proto=" << protocol_name(GetParam()) << " first=" << first_ms
+          << " gap=" << gap_ms;
+      EXPECT_TRUE(cluster.check_invariants({dir}).empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, DoubleCrashTest,
+                         ::testing::ValuesIn(kAllProtocolsExt),
+                         [](const auto& info) {
+                           return std::string(protocol_name(info.param));
+                         });
+
+// Repeated crashes of the same node mid-recovery.
+TEST(RepeatedCrash, CoordinatorCrashesTwiceDuringOneTransaction) {
+  for (ProtocolKind proto : kAllProtocolsExt) {
+    Simulator sim;
+    StatsRegistry stats;
+    TraceRecorder trace(false);
+    ClusterConfig cc;
+    cc.n_nodes = 2;
+    cc.protocol = proto;
+    cc.acp.response_timeout = Duration::millis(300);
+    cc.acp.retry_interval = Duration::millis(100);
+    Cluster cluster(sim, cc, stats, trace);
+
+    IdAllocator ids;
+    const ObjectId dir = ids.next();
+    PinnedPartitioner part(2, NodeId(1));
+    part.assign(dir, NodeId(0));
+    cluster.bootstrap_directory(dir, NodeId(0));
+    NamespacePlanner planner(part, OpCosts{});
+    const ObjectId inode = ids.next();
+
+    cluster.submit(planner.plan_create(dir, "z", inode, false),
+                   [](TxnId, TxnOutcome) {});
+    cluster.schedule_crash(NodeId(0), Duration::millis(25),
+                           Duration::millis(300));
+    // Second crash lands inside the recovery re-drive.
+    cluster.schedule_crash(NodeId(0), Duration::millis(360),
+                           Duration::millis(300));
+
+    sim.run_until(SimTime::zero() + Duration::seconds(60));
+    ASSERT_TRUE(sim.idle()) << protocol_name(proto);
+    const bool dentry_present =
+        cluster.store(NodeId(0)).stable_lookup(dir, "z").has_value();
+    const bool inode_present =
+        cluster.store(NodeId(1)).stable_inode(inode).has_value();
+    EXPECT_EQ(dentry_present, inode_present) << protocol_name(proto);
+    EXPECT_TRUE(cluster.check_invariants({dir}).empty())
+        << protocol_name(proto);
+  }
+}
+
+}  // namespace
+}  // namespace opc

@@ -1,0 +1,153 @@
+// Cluster services: node lifecycle, heartbeat suspicion, STONITH
+// controller holds, failure scheduling helpers.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace opc {
+namespace {
+
+ClusterConfig base_config(std::uint32_t n = 2) {
+  ClusterConfig cc;
+  cc.n_nodes = n;
+  cc.protocol = ProtocolKind::kOnePC;
+  return cc;
+}
+
+TEST(NodeLifecycle, CrashDetachesFromNetwork) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  Cluster cluster(sim, base_config(), stats, trace);
+  EXPECT_TRUE(cluster.network().attached(NodeId(0)));
+  cluster.crash_node(NodeId(0));
+  EXPECT_FALSE(cluster.network().attached(NodeId(0)));
+  EXPECT_FALSE(cluster.node(NodeId(0)).alive());
+  cluster.reboot_node(NodeId(0));
+  sim.run();
+  EXPECT_TRUE(cluster.node(NodeId(0)).alive());
+  EXPECT_TRUE(cluster.network().attached(NodeId(0)));
+}
+
+TEST(NodeLifecycle, CrashAndRebootAreIdempotentHelpers) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  Cluster cluster(sim, base_config(), stats, trace);
+  cluster.crash_node(NodeId(0));
+  cluster.crash_node(NodeId(0));  // no-op, no crash
+  cluster.reboot_node(NodeId(0));
+  cluster.reboot_node(NodeId(0));  // no-op
+  sim.run();
+  EXPECT_TRUE(cluster.node(NodeId(0)).alive());
+}
+
+TEST(NodeLifecycle, ScheduledCrashAndRebootFire) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  Cluster cluster(sim, base_config(), stats, trace);
+  cluster.schedule_crash(NodeId(1), Duration::millis(10),
+                         Duration::millis(20));
+  sim.run_until(SimTime::zero() + Duration::millis(15));
+  EXPECT_FALSE(cluster.node(NodeId(1)).alive());
+  sim.run_until(SimTime::zero() + Duration::seconds(1));
+  EXPECT_TRUE(cluster.node(NodeId(1)).alive());
+}
+
+TEST(Heartbeats, CrashTriggersSuspicion) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  ClusterConfig cc = base_config();
+  cc.heartbeat.enabled = true;
+  cc.heartbeat.interval = Duration::millis(50);
+  cc.heartbeat.suspicion_timeout = Duration::millis(200);
+  Cluster cluster(sim, cc, stats, trace);
+  sim.run_until(SimTime::zero() + Duration::millis(300));
+  EXPECT_EQ(stats.get("cluster.suspicions"), 0) << "healthy cluster";
+  cluster.crash_node(NodeId(1));
+  sim.run_until(SimTime::zero() + Duration::millis(700));
+  EXPECT_GE(stats.get("cluster.suspicions"), 1);
+}
+
+TEST(Heartbeats, PartitionCausesFalseSuspicion) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  ClusterConfig cc = base_config();
+  cc.heartbeat.enabled = true;
+  cc.heartbeat.interval = Duration::millis(50);
+  cc.heartbeat.suspicion_timeout = Duration::millis(200);
+  Cluster cluster(sim, cc, stats, trace);
+  cluster.partition_pair(NodeId(0), NodeId(1));
+  sim.run_until(SimTime::zero() + Duration::millis(600));
+  // Both sides suspect the other although both are alive — the split-brain
+  // hazard the paper's fencing requirement exists for.
+  EXPECT_GE(stats.get("cluster.suspicions"), 2);
+  EXPECT_TRUE(cluster.node(NodeId(0)).alive());
+  EXPECT_TRUE(cluster.node(NodeId(1)).alive());
+}
+
+TEST(Stonith, FencePowerCyclesLiveTarget) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  Cluster cluster(sim, base_config(), stats, trace);
+  bool fenced = false;
+  cluster.fencing().fence_and_isolate(NodeId(0), NodeId(1),
+                                      [&] { fenced = true; });
+  sim.run_until(SimTime::zero() + Duration::millis(100));
+  EXPECT_TRUE(fenced);
+  EXPECT_FALSE(cluster.node(NodeId(1)).alive()) << "STONITH powered it off";
+  EXPECT_TRUE(cluster.storage().is_fenced(NodeId(1)));
+}
+
+TEST(Stonith, HoldBlocksRebootUntilRelease) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  Cluster cluster(sim, base_config(), stats, trace);
+  cluster.fencing().fence_and_isolate(NodeId(0), NodeId(1), [] {});
+  sim.run_until(SimTime::zero() + Duration::millis(100));
+  ASSERT_TRUE(cluster.fencing().held(NodeId(1)));
+  cluster.reboot_node(NodeId(1));  // must be refused while held
+  sim.run_until(SimTime::zero() + Duration::millis(200));
+  EXPECT_FALSE(cluster.node(NodeId(1)).alive());
+
+  cluster.fencing().release(NodeId(0), NodeId(1));
+  EXPECT_FALSE(cluster.fencing().held(NodeId(1)));
+  sim.run_until(SimTime::zero() + Duration::seconds(2));
+  EXPECT_TRUE(cluster.node(NodeId(1)).alive()) << "auto-reboot after release";
+  EXPECT_FALSE(cluster.storage().is_fenced(NodeId(1)))
+      << "reboot lifts the storage fence";
+}
+
+TEST(Stonith, MultipleHoldersAllMustRelease) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  Cluster cluster(sim, base_config(3), stats, trace);
+  cluster.fencing().fence_and_isolate(NodeId(0), NodeId(2), [] {});
+  cluster.fencing().fence_and_isolate(NodeId(1), NodeId(2), [] {});
+  sim.run_until(SimTime::zero() + Duration::millis(100));
+  cluster.fencing().release(NodeId(0), NodeId(2));
+  EXPECT_TRUE(cluster.fencing().held(NodeId(2)));
+  cluster.fencing().release(NodeId(1), NodeId(2));
+  EXPECT_FALSE(cluster.fencing().held(NodeId(2)));
+}
+
+TEST(ClusterSetup, BootstrapDirectoryLandsOnHome) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  Cluster cluster(sim, base_config(4), stats, trace);
+  cluster.bootstrap_directory(ObjectId(5), NodeId(2));
+  const auto ino = cluster.store(NodeId(2)).stable_inode(ObjectId(5));
+  ASSERT_TRUE(ino.has_value());
+  EXPECT_TRUE(ino->is_dir);
+  EXPECT_FALSE(cluster.store(NodeId(0)).stable_inode(ObjectId(5)).has_value());
+}
+
+}  // namespace
+}  // namespace opc

@@ -1,0 +1,156 @@
+// Client-side dentry cache: hit/miss accounting, TTL expiry, staleness
+// after foreign mutations, and invalidation-driven recovery.
+#include <gtest/gtest.h>
+
+#include "fs/client.h"
+
+namespace opc {
+namespace {
+
+struct CacheFixture {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace{false};
+  std::unique_ptr<Cluster> cluster;
+  IdAllocator ids;
+  std::unique_ptr<HashPartitioner> part;
+  std::unique_ptr<NamespacePlanner> planner;
+  ObjectId root;
+  std::unique_ptr<FsClient> cached;   // with dentry cache
+  std::unique_ptr<FsClient> plain;    // without
+
+  CacheFixture() {
+    ClusterConfig cc;
+    cc.n_nodes = 4;
+    cc.protocol = ProtocolKind::kOnePC;
+    cluster = std::make_unique<Cluster>(sim, cc, stats, trace);
+    part = std::make_unique<HashPartitioner>(4);
+    planner = std::make_unique<NamespacePlanner>(*part, OpCosts{});
+    root = ids.next();
+    cluster->bootstrap_directory(root, part->home_of(root));
+    FsClientConfig ccfg;
+    ccfg.dentry_cache_ttl = Duration::seconds(5);
+    cached = std::make_unique<FsClient>(sim, *cluster, *planner, ids, root,
+                                        NodeId(10), ccfg);
+    plain = std::make_unique<FsClient>(sim, *cluster, *planner, ids, root,
+                                       NodeId(11));
+  }
+
+  FsStatus run_op(FsClient& fs,
+                  std::function<void(FsClient&, FsClient::StatusCb)> op) {
+    FsStatus out = FsStatus::kAborted;
+    op(fs, [&](FsStatus st) { out = st; });
+    sim.run();
+    return out;
+  }
+};
+
+TEST(DentryCache, RepeatResolutionsSkipTheNetwork) {
+  CacheFixture f;
+  ASSERT_EQ(f.run_op(*f.cached, [](FsClient& fs, auto cb) {
+    fs.mkdir("/a", cb);
+  }), FsStatus::kOk);
+  ASSERT_EQ(f.run_op(*f.cached, [](FsClient& fs, auto cb) {
+    fs.mkdir("/a/b", cb);
+  }), FsStatus::kOk);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(f.run_op(*f.cached, [i](FsClient& fs, auto cb) {
+      fs.create("/a/b/f" + std::to_string(i), cb);
+    }), FsStatus::kOk);
+  }
+  // Resolutions of /a and /a/b after the first create are all cache hits.
+  EXPECT_GE(f.cached->cache_hits(), 8u);
+
+  // The uncached client pays RPCs for every component every time.
+  const std::int64_t rpcs_before = f.stats.get("fs.rpcs");
+  FsStatus st = FsStatus::kAborted;
+  f.plain->stat("/a/b/f0", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  ASSERT_EQ(st, FsStatus::kOk);
+  EXPECT_EQ(f.stats.get("fs.rpcs") - rpcs_before, 4);  // 3 lookups + stat
+
+  const std::int64_t rpcs_before2 = f.stats.get("fs.rpcs");
+  f.cached->stat("/a/b/f0", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  ASSERT_EQ(st, FsStatus::kOk);
+  EXPECT_LE(f.stats.get("fs.rpcs") - rpcs_before2, 2)
+      << "cached components resolve locally";
+}
+
+TEST(DentryCache, EntriesExpireAfterTtl) {
+  CacheFixture f;
+  ASSERT_EQ(f.run_op(*f.cached, [](FsClient& fs, auto cb) {
+    fs.mkdir("/ttl", cb);
+  }), FsStatus::kOk);
+  FsStatus st = FsStatus::kAborted;
+  f.cached->stat("/ttl", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  ASSERT_EQ(st, FsStatus::kOk);
+  const std::uint64_t hits = f.cached->cache_hits();
+
+  // Beyond the 5 s TTL the entry is refetched, not reused.
+  f.sim.run_until(f.sim.now() + Duration::seconds(6));
+  f.cached->stat("/ttl", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  ASSERT_EQ(st, FsStatus::kOk);
+  EXPECT_EQ(f.cached->cache_hits(), hits) << "expired entry must not hit";
+}
+
+TEST(DentryCache, StaleEntryAfterForeignRenameRecoversViaInvalidation) {
+  CacheFixture f;
+  ASSERT_EQ(f.run_op(*f.cached, [](FsClient& fs, auto cb) {
+    fs.mkdir("/dir", cb);
+  }), FsStatus::kOk);
+  ASSERT_EQ(f.run_op(*f.cached, [](FsClient& fs, auto cb) {
+    fs.create("/dir/old", cb);
+  }), FsStatus::kOk);
+  // Warm the cached client's view of /dir/old.
+  FsStatus st = FsStatus::kAborted;
+  f.cached->stat("/dir/old", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  ASSERT_EQ(st, FsStatus::kOk);
+
+  // Another client renames it away.
+  ASSERT_EQ(f.run_op(*f.plain, [](FsClient& fs, auto cb) {
+    fs.rename("/dir/old", "/dir/new", cb);
+  }), FsStatus::kOk);
+
+  // The cached client's unlink of the old name fails (the authoritative
+  // validation catches the stale view), invalidates, and a retry sees
+  // fresh state.
+  const FsStatus first = f.run_op(*f.cached, [](FsClient& fs, auto cb) {
+    fs.unlink("/dir/old", cb);
+  });
+  EXPECT_TRUE(first == FsStatus::kNotFound || first == FsStatus::kAborted)
+      << fs_status_name(first);
+  const FsStatus second = f.run_op(*f.cached, [](FsClient& fs, auto cb) {
+    fs.unlink("/dir/new", cb);
+  });
+  EXPECT_EQ(second, FsStatus::kOk);
+  EXPECT_TRUE(f.cluster->check_invariants({f.root}).empty());
+}
+
+TEST(DentryCache, ExplicitInvalidateDropsPathEntries) {
+  CacheFixture f;
+  ASSERT_EQ(f.run_op(*f.cached, [](FsClient& fs, auto cb) {
+    fs.mkdir("/x", cb);
+  }), FsStatus::kOk);
+  ASSERT_EQ(f.run_op(*f.cached, [](FsClient& fs, auto cb) {
+    fs.create("/x/y", cb);
+  }), FsStatus::kOk);
+  FsStatus st = FsStatus::kAborted;
+  f.cached->stat("/x/y", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  ASSERT_EQ(st, FsStatus::kOk);
+
+  f.cached->invalidate("/x/y");
+  const std::uint64_t hits = f.cached->cache_hits();
+  f.cached->stat("/x/y", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  ASSERT_EQ(st, FsStatus::kOk);
+  EXPECT_EQ(f.cached->cache_hits(), hits)
+      << "both components were dropped; resolution paid full RPCs";
+}
+
+}  // namespace
+}  // namespace opc

@@ -1,0 +1,265 @@
+// Path-based client API: resolution, create/mkdir/unlink/rename by path,
+// stat/readdir, error statuses, rmdir safety, RPC timeouts against dead
+// servers, and resolution cost (k components = k round trips).
+#include <gtest/gtest.h>
+
+#include "fs/client.h"
+
+namespace opc {
+namespace {
+
+struct FsFixture {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace{false};
+  std::unique_ptr<Cluster> cluster;
+  IdAllocator ids;
+  std::unique_ptr<HashPartitioner> part;
+  std::unique_ptr<NamespacePlanner> planner;
+  ObjectId root;
+  std::unique_ptr<FsClient> fs;
+
+  explicit FsFixture(std::uint32_t nodes = 4,
+                     ProtocolKind proto = ProtocolKind::kOnePC) {
+    ClusterConfig cc;
+    cc.n_nodes = nodes;
+    cc.protocol = proto;
+    cluster = std::make_unique<Cluster>(sim, cc, stats, trace);
+    part = std::make_unique<HashPartitioner>(nodes);
+    planner = std::make_unique<NamespacePlanner>(*part, OpCosts{});
+    root = ids.next();
+    cluster->bootstrap_directory(root, part->home_of(root));
+    fs = std::make_unique<FsClient>(sim, *cluster, *planner, ids, root,
+                                    NodeId(nodes + 1));
+  }
+
+  FsStatus run_op(std::function<void(FsClient::StatusCb)> op) {
+    FsStatus out = FsStatus::kAborted;
+    bool done = false;
+    op([&](FsStatus st) {
+      out = st;
+      done = true;
+    });
+    sim.run();
+    EXPECT_TRUE(done);
+    return out;
+  }
+};
+
+TEST(PathSplit, AcceptsAndRejectsCorrectly) {
+  std::vector<std::string> parts;
+  EXPECT_TRUE(FsClient::split_path("/", parts));
+  EXPECT_TRUE(parts.empty());
+  EXPECT_TRUE(FsClient::split_path("/a/b/c", parts));
+  EXPECT_EQ(parts, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(FsClient::split_path("/one", parts));
+  EXPECT_EQ(parts, (std::vector<std::string>{"one"}));
+  EXPECT_FALSE(FsClient::split_path("", parts));
+  EXPECT_FALSE(FsClient::split_path("relative/x", parts));
+  EXPECT_FALSE(FsClient::split_path("/a//b", parts));
+  EXPECT_FALSE(FsClient::split_path("/a/", parts));
+}
+
+TEST(FsClientTest, MkdirCreateStatReaddir) {
+  FsFixture f;
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->mkdir("/projects", cb); }),
+            FsStatus::kOk);
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->mkdir("/projects/opc", cb); }),
+            FsStatus::kOk);
+  EXPECT_EQ(
+      f.run_op([&](auto cb) { f.fs->create("/projects/opc/main.cc", cb); }),
+      FsStatus::kOk);
+  EXPECT_EQ(
+      f.run_op([&](auto cb) { f.fs->create("/projects/opc/util.cc", cb); }),
+      FsStatus::kOk);
+
+  FsStatus st = FsStatus::kAborted;
+  Inode ino;
+  f.fs->stat("/projects/opc/main.cc", [&](FsStatus s, Inode i) {
+    st = s;
+    ino = i;
+  });
+  f.sim.run();
+  EXPECT_EQ(st, FsStatus::kOk);
+  EXPECT_FALSE(ino.is_dir);
+  EXPECT_EQ(ino.nlink, 1u);
+
+  std::vector<std::pair<std::string, ObjectId>> entries;
+  f.fs->readdir("/projects/opc", [&](FsStatus s, auto e) {
+    st = s;
+    entries = std::move(e);
+  });
+  f.sim.run();
+  EXPECT_EQ(st, FsStatus::kOk);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "main.cc");  // name-ordered
+  EXPECT_EQ(entries[1].first, "util.cc");
+
+  EXPECT_TRUE(f.cluster->check_invariants({f.root}).empty());
+}
+
+TEST(FsClientTest, ErrorStatuses) {
+  FsFixture f;
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->create("/no/such/dir/x", cb); }),
+            FsStatus::kNotFound);
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->mkdir("/d", cb); }), FsStatus::kOk);
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->mkdir("/d", cb); }),
+            FsStatus::kExists);
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->unlink("/d/ghost", cb); }),
+            FsStatus::kNotFound);
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->create("bad path", cb); }),
+            FsStatus::kInvalidPath);
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->rename("/d/ghost", "/d/g2", cb); }),
+            FsStatus::kNotFound);
+
+  FsStatus st = FsStatus::kOk;
+  f.fs->readdir("/nowhere", [&](FsStatus s, auto) { st = s; });
+  f.sim.run();
+  EXPECT_EQ(st, FsStatus::kNotFound);
+}
+
+TEST(FsClientTest, UnlinkAndRmdirSafety) {
+  FsFixture f;
+  ASSERT_EQ(f.run_op([&](auto cb) { f.fs->mkdir("/dir", cb); }), FsStatus::kOk);
+  ASSERT_EQ(f.run_op([&](auto cb) { f.fs->create("/dir/file", cb); }),
+            FsStatus::kOk);
+
+  // Removing a non-empty directory must fail (validated under the lock).
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->unlink("/dir", cb); }),
+            FsStatus::kAborted);
+  // Its content is untouched.
+  FsStatus st = FsStatus::kAborted;
+  f.fs->stat("/dir/file", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  EXPECT_EQ(st, FsStatus::kOk);
+
+  // Empty it, then rmdir succeeds.
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->unlink("/dir/file", cb); }),
+            FsStatus::kOk);
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->unlink("/dir", cb); }),
+            FsStatus::kOk);
+  f.fs->stat("/dir", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  EXPECT_EQ(st, FsStatus::kNotFound);
+  EXPECT_TRUE(f.cluster->check_invariants({f.root}).empty());
+}
+
+TEST(FsClientTest, RenameMovesAndOverwrites) {
+  FsFixture f;
+  ASSERT_EQ(f.run_op([&](auto cb) { f.fs->mkdir("/a", cb); }), FsStatus::kOk);
+  ASSERT_EQ(f.run_op([&](auto cb) { f.fs->mkdir("/b", cb); }), FsStatus::kOk);
+  ASSERT_EQ(f.run_op([&](auto cb) { f.fs->create("/a/x", cb); }),
+            FsStatus::kOk);
+  ASSERT_EQ(f.run_op([&](auto cb) { f.fs->create("/b/y", cb); }),
+            FsStatus::kOk);
+
+  // Plain move.
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->rename("/a/x", "/b/x", cb); }),
+            FsStatus::kOk);
+  FsStatus st = FsStatus::kOk;
+  f.fs->stat("/a/x", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  EXPECT_EQ(st, FsStatus::kNotFound);
+
+  // Overwriting move: /b/x replaces /b/y's name... rename /b/x -> /b/y.
+  EXPECT_EQ(f.run_op([&](auto cb) { f.fs->rename("/b/x", "/b/y", cb); }),
+            FsStatus::kOk);
+  std::vector<std::pair<std::string, ObjectId>> entries;
+  f.fs->readdir("/b", [&](FsStatus s, auto e) {
+    st = s;
+    entries = std::move(e);
+  });
+  f.sim.run();
+  ASSERT_EQ(st, FsStatus::kOk);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].first, "y");
+  EXPECT_TRUE(f.cluster->check_invariants({f.root}).empty());
+}
+
+TEST(FsClientTest, DeepResolutionCostsOneRoundTripPerComponent) {
+  FsFixture f;
+  std::string path;
+  for (int depth = 0; depth < 6; ++depth) {
+    path += "/l" + std::to_string(depth);
+    ASSERT_EQ(f.run_op([&](auto cb) { f.fs->mkdir(path, cb); }), FsStatus::kOk);
+  }
+  const std::int64_t rpcs_before = f.stats.get("fs.rpcs");
+  FsStatus st = FsStatus::kAborted;
+  f.fs->stat(path, [&](FsStatus s, Inode) { st = s; });
+  f.sim.run();
+  EXPECT_EQ(st, FsStatus::kOk);
+  // 6 lookups + 1 stat.
+  EXPECT_EQ(f.stats.get("fs.rpcs") - rpcs_before, 7);
+}
+
+TEST(FsClientTest, RpcTimesOutAgainstCrashedServer) {
+  FsFixture f;
+  ASSERT_EQ(f.run_op([&](auto cb) { f.fs->mkdir("/t", cb); }), FsStatus::kOk);
+  const NodeId home = f.part->home_of(f.root);
+  f.cluster->crash_node(home);
+  FsStatus st = FsStatus::kOk;
+  f.fs->stat("/t", [&](FsStatus s, Inode) { st = s; });
+  f.sim.run_until(f.sim.now() + Duration::seconds(5));
+  EXPECT_EQ(st, FsStatus::kUnreachable);
+}
+
+TEST(FsClientTest, ReadsSeeOnePcCommitsImmediately) {
+  // The mem view serves reads: a 1PC commit is visible to lookups as soon
+  // as the client got its reply, even though the coordinator's stable
+  // flush is still in flight.
+  FsFixture f(2);
+  bool created = false;
+  FsStatus seen = FsStatus::kNotFound;
+  f.fs->create("/now", [&](FsStatus st) {
+    ASSERT_EQ(st, FsStatus::kOk);
+    created = true;
+    f.fs->stat("/now", [&](FsStatus s, Inode) { seen = s; });
+  });
+  f.sim.run();
+  EXPECT_TRUE(created);
+  EXPECT_EQ(seen, FsStatus::kOk);
+}
+
+TEST(FsClientTest, TwoClientsShareTheNamespace) {
+  FsFixture f;
+  FsClient other(f.sim, *f.cluster, *f.planner, f.ids, f.root,
+                 NodeId(f.cluster->size() + 2));
+  ASSERT_EQ(f.run_op([&](auto cb) { f.fs->mkdir("/shared", cb); }),
+            FsStatus::kOk);
+  FsStatus st = FsStatus::kAborted;
+  other.create("/shared/from_other", [&](FsStatus s) { st = s; });
+  f.sim.run();
+  EXPECT_EQ(st, FsStatus::kOk);
+  // First client sees it.
+  std::vector<std::pair<std::string, ObjectId>> entries;
+  f.fs->readdir("/shared", [&](FsStatus, auto e) { entries = std::move(e); });
+  f.sim.run();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].first, "from_other");
+}
+
+TEST(FsClientTest, BuildsLargeTreeAcrossAllProtocols) {
+  for (ProtocolKind proto : kAllProtocolsExt) {
+    FsFixture f(4, proto);
+    int ok = 0;
+    const int dirs = 4, files = 6;
+    for (int d = 0; d < dirs; ++d) {
+      const std::string dir = "/dir" + std::to_string(d);
+      ASSERT_EQ(f.run_op([&](auto cb) { f.fs->mkdir(dir, cb); }),
+                FsStatus::kOk);
+      for (int i = 0; i < files; ++i) {
+        if (f.run_op([&](auto cb) {
+              f.fs->create(dir + "/f" + std::to_string(i), cb);
+            }) == FsStatus::kOk) {
+          ++ok;
+        }
+      }
+    }
+    EXPECT_EQ(ok, dirs * files) << protocol_name(proto);
+    EXPECT_TRUE(f.cluster->check_invariants({f.root}).empty())
+        << protocol_name(proto);
+  }
+}
+
+}  // namespace
+}  // namespace opc

@@ -1,0 +1,121 @@
+// The path-based client under failures: crashed metadata servers, 1PC
+// fencing recovery behind a path operation, and client retries after
+// kUnreachable / kAborted.
+#include <gtest/gtest.h>
+
+#include "fs/client.h"
+
+namespace opc {
+namespace {
+
+struct FsFailFixture {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace{false};
+  std::unique_ptr<Cluster> cluster;
+  IdAllocator ids;
+  std::unique_ptr<PinnedPartitioner> part;
+  std::unique_ptr<NamespacePlanner> planner;
+  ObjectId root;
+  std::unique_ptr<FsClient> fs;
+
+  FsFailFixture() {
+    ClusterConfig cc;
+    cc.n_nodes = 2;
+    cc.protocol = ProtocolKind::kOnePC;
+    cc.acp.response_timeout = Duration::millis(300);
+    cc.acp.retry_interval = Duration::millis(100);
+    cluster = std::make_unique<Cluster>(sim, cc, stats, trace);
+    part = std::make_unique<PinnedPartitioner>(2, NodeId(1));
+    planner = std::make_unique<NamespacePlanner>(*part, OpCosts{});
+    root = ids.next();
+    part->assign(root, NodeId(0));
+    cluster->bootstrap_directory(root, NodeId(0));
+    fs = std::make_unique<FsClient>(sim, *cluster, *planner, ids, root,
+                                    NodeId(5));
+  }
+};
+
+TEST(FsFailure, WorkerCrashMidCreateResolvesThroughFencing) {
+  FsFailFixture f;
+  FsStatus st = FsStatus::kOk;
+  f.fs->create("/under_fire", [&](FsStatus s) { st = s; });
+  // The worker (inode server) dies while the create's commit force runs.
+  f.cluster->schedule_crash(NodeId(1), Duration::millis(30),
+                            Duration::millis(400));
+  f.sim.run_until(SimTime::zero() + Duration::seconds(30));
+
+  // Fencing found no COMMITTED record -> abort; or (timing) commit.  Either
+  // way the client got a definitive answer and the namespace is coherent.
+  EXPECT_TRUE(st == FsStatus::kOk || st == FsStatus::kAborted);
+  FsStatus stat_st = FsStatus::kAborted;
+  f.fs->stat("/under_fire", [&](FsStatus s, Inode) { stat_st = s; });
+  f.sim.run_until(SimTime::zero() + Duration::seconds(35));
+  if (st == FsStatus::kOk) {
+    EXPECT_EQ(stat_st, FsStatus::kOk);
+  } else {
+    EXPECT_EQ(stat_st, FsStatus::kNotFound);
+  }
+  EXPECT_TRUE(f.cluster->check_invariants({f.root}).empty());
+}
+
+TEST(FsFailure, AbortedCreateSucceedsOnRetry) {
+  FsFailFixture f;
+  FsStatus first = FsStatus::kOk;
+  f.fs->create("/retry_me", [&](FsStatus s) { first = s; });
+  f.cluster->schedule_crash(NodeId(1), Duration::millis(30),
+                            Duration::millis(400));
+  f.sim.run_until(SimTime::zero() + Duration::seconds(30));
+
+  if (first == FsStatus::kAborted) {
+    FsStatus second = FsStatus::kAborted;
+    f.fs->create("/retry_me", [&](FsStatus s) { second = s; });
+    f.sim.run_until(SimTime::zero() + Duration::seconds(60));
+    EXPECT_EQ(second, FsStatus::kOk) << "retry after the worker repaired";
+  }
+  FsStatus stat_st = FsStatus::kAborted;
+  f.fs->stat("/retry_me", [&](FsStatus s, Inode) { stat_st = s; });
+  f.sim.run_until(SimTime::zero() + Duration::seconds(65));
+  EXPECT_EQ(stat_st, FsStatus::kOk);
+  EXPECT_TRUE(f.cluster->check_invariants({f.root}).empty());
+}
+
+TEST(FsFailure, ResolutionAgainstDeadDirServerTimesOut) {
+  FsFailFixture f;
+  FsStatus st = FsStatus::kOk;
+  f.cluster->crash_node(NodeId(0));  // the root's home
+  f.fs->create("/nope", [&](FsStatus s) { st = s; });
+  f.sim.run_until(SimTime::zero() + Duration::seconds(10));
+  // The existence probe RPC to mds0 times out... note resolve of "/" has no
+  // components, so the first RPC is the parent-dir probe at mds0.
+  EXPECT_TRUE(st == FsStatus::kUnreachable || st == FsStatus::kAborted)
+      << fs_status_name(st);
+}
+
+TEST(FsFailure, ReadsFailoverAfterReboot) {
+  FsFailFixture f;
+  FsStatus st = FsStatus::kAborted;
+  f.fs->create("/durable", [&](FsStatus s) { st = s; });
+  f.sim.run();
+  ASSERT_EQ(st, FsStatus::kOk);
+
+  // Bounce the directory server; after reboot its mem view is rebuilt from
+  // stable state and reads work again.
+  f.cluster->crash_node(NodeId(0));
+  f.sim.run_until(f.sim.now() + Duration::millis(100));
+  f.cluster->reboot_node(NodeId(0));
+  f.sim.run_until(f.sim.now() + Duration::millis(500));
+
+  FsStatus stat_st = FsStatus::kAborted;
+  Inode ino;
+  f.fs->stat("/durable", [&](FsStatus s, Inode i) {
+    stat_st = s;
+    ino = i;
+  });
+  f.sim.run_until(f.sim.now() + Duration::seconds(5));
+  EXPECT_EQ(stat_st, FsStatus::kOk);
+  EXPECT_EQ(ino.nlink, 1u);
+}
+
+}  // namespace
+}  // namespace opc

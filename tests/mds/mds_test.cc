@@ -1,0 +1,292 @@
+// Metadata substrate: store lifecycle (cache/mem/stable), validation,
+// replay idempotence, planners, partitioners, invariant checker.
+#include <gtest/gtest.h>
+
+#include "mds/invariants.h"
+#include "mds/namespace.h"
+#include "mds/partition.h"
+#include "mds/store.h"
+
+namespace opc {
+namespace {
+
+Operation op(OpType t, std::uint64_t target, std::string name = "",
+             std::uint64_t child = 0) {
+  Operation o;
+  o.type = t;
+  o.target = ObjectId(target);
+  o.child = ObjectId(child);
+  o.name = std::move(name);
+  return o;
+}
+
+struct StoreFixture {
+  MetaStore store{NodeId(0)};
+  StoreFixture() {
+    store.bootstrap_inode(Inode{ObjectId(1), true, 1, 0});  // root dir
+  }
+};
+
+TEST(StoreTest, PendingIsInvisibleUntilCommitMem) {
+  StoreFixture f;
+  ASSERT_EQ(f.store.apply(10, op(OpType::kAddDentry, 1, "a", 5)),
+            StoreStatus::kOk);
+  EXPECT_FALSE(f.store.mem_lookup(ObjectId(1), "a").has_value());
+  EXPECT_TRUE(f.store.effective_lookup(10, ObjectId(1), "a").has_value());
+  // Another transaction does not see it either.
+  EXPECT_FALSE(f.store.effective_lookup(11, ObjectId(1), "a").has_value());
+  f.store.commit_mem(10);
+  EXPECT_EQ(f.store.mem_lookup(ObjectId(1), "a"), ObjectId(5));
+  EXPECT_FALSE(f.store.stable_lookup(ObjectId(1), "a").has_value())
+      << "mem runs ahead of stable";
+  f.store.commit_stable(10);
+  EXPECT_EQ(f.store.stable_lookup(ObjectId(1), "a"), ObjectId(5));
+}
+
+TEST(StoreTest, CrashDropsMemAheadOfStable) {
+  StoreFixture f;
+  ASSERT_EQ(f.store.apply(10, op(OpType::kAddDentry, 1, "a", 5)),
+            StoreStatus::kOk);
+  f.store.commit_mem(10);
+  f.store.crash();
+  EXPECT_FALSE(f.store.mem_lookup(ObjectId(1), "a").has_value())
+      << "unflushed commit lost with the cache";
+  EXPECT_EQ(f.store.unflushed_txns(), 0u);
+}
+
+TEST(StoreTest, AbortDropsPending) {
+  StoreFixture f;
+  ASSERT_EQ(f.store.apply(10, op(OpType::kAddDentry, 1, "a", 5)),
+            StoreStatus::kOk);
+  f.store.abort_txn(10);
+  EXPECT_TRUE(f.store.pending_ops(10).empty());
+  ASSERT_EQ(f.store.apply(11, op(OpType::kAddDentry, 1, "a", 6)),
+            StoreStatus::kOk)
+      << "name free again after abort";
+}
+
+TEST(StoreTest, ValidationErrors) {
+  StoreFixture f;
+  EXPECT_EQ(f.store.apply(1, op(OpType::kAddDentry, 99, "x", 5)),
+            StoreStatus::kInodeNotFound);
+  f.store.bootstrap_inode(Inode{ObjectId(2), false, 1, 0});
+  EXPECT_EQ(f.store.apply(1, op(OpType::kAddDentry, 2, "x", 5)),
+            StoreStatus::kNotADirectory);
+  EXPECT_EQ(f.store.apply(1, op(OpType::kRemoveDentry, 1, "nope")),
+            StoreStatus::kDentryNotFound);
+  EXPECT_EQ(f.store.apply(1, op(OpType::kCreateInode, 2)),
+            StoreStatus::kInodeExists);
+  EXPECT_EQ(f.store.apply(1, op(OpType::kDecLink, 42)),
+            StoreStatus::kInodeNotFound);
+}
+
+TEST(StoreTest, ChildMismatchGuard) {
+  StoreFixture f;
+  f.store.bootstrap_inode(Inode{ObjectId(5), false, 1, 0});
+  f.store.bootstrap_dentry(ObjectId(1), "a", ObjectId(5));
+  Operation rm = op(OpType::kRemoveDentry, 1, "a", 6);  // wrong child
+  EXPECT_EQ(f.store.apply(1, rm), StoreStatus::kChildMismatch);
+  rm.child = ObjectId(5);
+  EXPECT_EQ(f.store.apply(1, rm), StoreStatus::kOk);
+}
+
+TEST(StoreTest, DecLinkToZeroRemovesInode) {
+  StoreFixture f;
+  f.store.bootstrap_inode(Inode{ObjectId(7), false, 1, 0});
+  ASSERT_EQ(f.store.apply(1, op(OpType::kDecLink, 7)), StoreStatus::kOk);
+  f.store.commit_txn(1);
+  EXPECT_FALSE(f.store.stable_inode(ObjectId(7)).has_value());
+}
+
+TEST(StoreTest, EffectiveViewChainsOwnPendingOps) {
+  StoreFixture f;
+  ASSERT_EQ(f.store.apply(1, op(OpType::kCreateInode, 9)), StoreStatus::kOk);
+  ASSERT_EQ(f.store.apply(1, op(OpType::kIncLink, 9)), StoreStatus::kOk);
+  const auto ino = f.store.effective_inode(1, ObjectId(9));
+  ASSERT_TRUE(ino.has_value());
+  EXPECT_EQ(ino->nlink, 1u);
+  ASSERT_EQ(f.store.apply(1, op(OpType::kDecLink, 9)), StoreStatus::kOk);
+  EXPECT_FALSE(f.store.effective_inode(1, ObjectId(9)).has_value());
+}
+
+TEST(StoreTest, ReplayIsIdempotent) {
+  StoreFixture f;
+  std::vector<Operation> ops{op(OpType::kAddDentry, 1, "r", 5),
+                             op(OpType::kCreateInode, 5),
+                             op(OpType::kIncLink, 5)};
+  EXPECT_TRUE(f.store.replay_committed(42, ops));
+  EXPECT_FALSE(f.store.replay_committed(42, ops)) << "second replay skipped";
+  const auto ino = f.store.stable_inode(ObjectId(5));
+  ASSERT_TRUE(ino.has_value());
+  EXPECT_EQ(ino->nlink, 1u) << "links not double-counted";
+}
+
+TEST(StoreTest, ReplaySkippedWhenCommittedNormally) {
+  StoreFixture f;
+  ASSERT_EQ(f.store.apply(42, op(OpType::kAddDentry, 1, "n", 5)),
+            StoreStatus::kOk);
+  f.store.commit_txn(42);
+  EXPECT_TRUE(f.store.stable_applied(42));
+  EXPECT_FALSE(
+      f.store.replay_committed(42, {op(OpType::kAddDentry, 1, "n", 5)}));
+}
+
+TEST(StoreTest, DirectoryConventionInCreateInode) {
+  StoreFixture f;
+  Operation mkdir_op = op(OpType::kCreateInode, 8, "", 8);  // child==target
+  ASSERT_EQ(f.store.apply(1, mkdir_op), StoreStatus::kOk);
+  f.store.commit_txn(1);
+  EXPECT_TRUE(f.store.stable_inode(ObjectId(8))->is_dir);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(PlannerTest, CreateSplitsAcrossTwoNodes) {
+  PinnedPartitioner part(2, NodeId(1));
+  part.assign(ObjectId(1), NodeId(0));
+  NamespacePlanner planner(part, OpCosts{});
+  const Transaction txn =
+      planner.plan_create(ObjectId(1), "f", ObjectId(2), false);
+  ASSERT_EQ(txn.n_participants(), 2u);
+  EXPECT_EQ(txn.coordinator(), NodeId(0));
+  EXPECT_EQ(txn.worker(), NodeId(1));
+  ASSERT_EQ(txn.participants[0].ops.size(), 1u);
+  EXPECT_EQ(txn.participants[0].ops[0].type, OpType::kAddDentry);
+  ASSERT_EQ(txn.participants[1].ops.size(), 2u);
+  EXPECT_EQ(txn.participants[1].ops[0].type, OpType::kCreateInode);
+  EXPECT_EQ(txn.participants[1].ops[1].type, OpType::kIncLink);
+}
+
+TEST(PlannerTest, ColocatedCreateIsLocal) {
+  PinnedPartitioner part(2, NodeId(0));
+  part.assign(ObjectId(1), NodeId(0));
+  NamespacePlanner planner(part, OpCosts{});
+  const Transaction txn =
+      planner.plan_create(ObjectId(1), "f", ObjectId(2), false);
+  EXPECT_TRUE(txn.is_local());
+  EXPECT_EQ(txn.participants[0].ops.size(), 3u);
+}
+
+TEST(PlannerTest, RenameWithOverwriteSpansFourNodes) {
+  PinnedPartitioner part(4, NodeId(0));
+  part.assign(ObjectId(1), NodeId(0));  // src dir
+  part.assign(ObjectId(2), NodeId(1));  // dst dir
+  part.assign(ObjectId(3), NodeId(2));  // moved inode
+  part.assign(ObjectId(4), NodeId(3));  // clobbered inode
+  NamespacePlanner planner(part, OpCosts{});
+  const Transaction txn = planner.plan_rename(
+      ObjectId(1), "a", ObjectId(2), "b", ObjectId(3), ObjectId(4));
+  EXPECT_EQ(txn.n_participants(), 4u);
+  EXPECT_EQ(txn.coordinator(), NodeId(0));
+  EXPECT_EQ(txn.kind, NamespaceOpKind::kRename);
+}
+
+TEST(PlannerTest, BatchCreateSharesOneTransaction) {
+  PinnedPartitioner part(2, NodeId(1));
+  part.assign(ObjectId(1), NodeId(0));
+  NamespacePlanner planner(part, OpCosts{});
+  const Transaction txn = planner.plan_create_batch(
+      ObjectId(1),
+      {{"a", ObjectId(2)}, {"b", ObjectId(3)}, {"c", ObjectId(4)}});
+  ASSERT_EQ(txn.n_participants(), 2u);
+  EXPECT_EQ(txn.participants[0].ops.size(), 3u);  // 3 dentries
+  EXPECT_EQ(txn.participants[1].ops.size(), 6u);  // 3 x (create + inclink)
+}
+
+TEST(PartitionerTest, HashIsDeterministicAndBalanced) {
+  HashPartitioner p(4);
+  std::vector<int> counts(4, 0);
+  for (std::uint64_t i = 1; i <= 4000; ++i) {
+    const NodeId a = p.home_of(ObjectId(i));
+    EXPECT_EQ(a, p.home_of(ObjectId(i)));
+    ++counts[a.value()];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(PartitionerTest, LocalityKeepsChildrenHome) {
+  LocalityPartitioner p(4, 1.0, 7);
+  p.assign(ObjectId(1), NodeId(2));
+  for (std::uint64_t i = 10; i < 30; ++i) {
+    EXPECT_EQ(p.place_child(ObjectId(1), ObjectId(i), i), NodeId(2));
+  }
+  LocalityPartitioner q(4, 0.0, 7);
+  q.assign(ObjectId(1), NodeId(2));
+  int away = 0;
+  for (std::uint64_t i = 10; i < 110; ++i) {
+    if (q.place_child(ObjectId(1), ObjectId(i), i) != NodeId(2)) ++away;
+  }
+  EXPECT_GT(away, 60) << "locality=0 spills broadly";
+}
+
+TEST(PartitionerTest, PlacementIsSticky) {
+  LocalityPartitioner p(4, 0.5, 9);
+  p.assign(ObjectId(1), NodeId(0));
+  const NodeId first = p.place_child(ObjectId(1), ObjectId(5), 1);
+  EXPECT_EQ(p.place_child(ObjectId(1), ObjectId(5), 999), first);
+  EXPECT_EQ(p.home_of(ObjectId(5)), first);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(InvariantsTest, CleanTreePasses) {
+  MetaStore a(NodeId(0)), b(NodeId(1));
+  a.bootstrap_inode(Inode{ObjectId(1), true, 1, 0});
+  a.bootstrap_dentry(ObjectId(1), "f", ObjectId(2));
+  b.bootstrap_inode(Inode{ObjectId(2), false, 1, 0});
+  EXPECT_TRUE(check_invariants({&a, &b}, {ObjectId(1)}).empty());
+}
+
+TEST(InvariantsTest, DetectsDanglingDentry) {
+  MetaStore a(NodeId(0));
+  a.bootstrap_inode(Inode{ObjectId(1), true, 1, 0});
+  a.bootstrap_dentry(ObjectId(1), "ghost", ObjectId(99));
+  const auto v = check_invariants({&a}, {ObjectId(1)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, InvariantViolation::Kind::kDanglingDentry);
+}
+
+TEST(InvariantsTest, DetectsOrphanedInode) {
+  MetaStore a(NodeId(0)), b(NodeId(1));
+  a.bootstrap_inode(Inode{ObjectId(1), true, 1, 0});
+  b.bootstrap_inode(Inode{ObjectId(2), false, 1, 0});  // nobody references it
+  const auto v = check_invariants({&a, &b}, {ObjectId(1)});
+  ASSERT_GE(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, InvariantViolation::Kind::kOrphanedInode);
+}
+
+TEST(InvariantsTest, DetectsLinkCountMismatch) {
+  MetaStore a(NodeId(0));
+  a.bootstrap_inode(Inode{ObjectId(1), true, 1, 0});
+  a.bootstrap_inode(Inode{ObjectId(2), false, 2, 0});  // claims 2 links
+  a.bootstrap_dentry(ObjectId(1), "one", ObjectId(2));
+  const auto v = check_invariants({&a}, {ObjectId(1)});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, InvariantViolation::Kind::kLinkCountMismatch);
+}
+
+TEST(InvariantsTest, DetectsDuplicateInode) {
+  MetaStore a(NodeId(0)), b(NodeId(1));
+  a.bootstrap_inode(Inode{ObjectId(1), true, 1, 0});
+  a.bootstrap_inode(Inode{ObjectId(5), false, 1, 0});
+  b.bootstrap_inode(Inode{ObjectId(5), false, 1, 0});
+  a.bootstrap_dentry(ObjectId(1), "x", ObjectId(5));
+  const auto v = check_invariants({&a, &b}, {ObjectId(1)});
+  ASSERT_GE(v.size(), 1u);
+  EXPECT_EQ(v[0].kind, InvariantViolation::Kind::kDuplicateInode);
+}
+
+TEST(InvariantsTest, RootsAreExemptFromReferenceRules) {
+  MetaStore a(NodeId(0));
+  a.bootstrap_inode(Inode{ObjectId(1), true, 1, 0});
+  EXPECT_TRUE(check_invariants({&a}, {ObjectId(1)}).empty());
+  // Without the exemption the unrooted directory trips both rules: orphaned
+  // (no referencing dentry) and link-count mismatch (nlink=1 vs 0 refs).
+  EXPECT_EQ(check_invariants({&a}, {}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace opc

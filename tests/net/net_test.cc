@@ -1,0 +1,167 @@
+// Network model: latency, FIFO channels, partitions, drops, detach.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace opc {
+namespace {
+
+struct NetFixture {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace{false};
+  NetworkConfig cfg;
+  std::unique_ptr<Network> net;
+  std::vector<std::pair<NodeId, std::string>> received;
+
+  explicit NetFixture(NetworkConfig c = {}) : cfg(c) {
+    net = std::make_unique<Network>(sim, cfg, stats, trace, 1);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const NodeId id(i);
+      net->attach(id, [this, id](Envelope env) {
+        received.emplace_back(id, env.kind);
+      });
+    }
+  }
+
+  void send(std::uint32_t from, std::uint32_t to, std::string kind,
+            std::uint64_t size = 256) {
+    Envelope env;
+    env.from = NodeId(from);
+    env.to = NodeId(to);
+    env.kind = std::move(kind);
+    env.size_bytes = size;
+    net->send(std::move(env));
+  }
+};
+
+TEST(NetworkTest, DeliversAfterLatency) {
+  NetFixture f;
+  f.send(0, 1, "ping");
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].second, "ping");
+  EXPECT_EQ(f.sim.now() - SimTime::zero(), Duration::micros(100));
+}
+
+TEST(NetworkTest, PerByteCostAddsToLatency) {
+  NetworkConfig cfg;
+  cfg.latency = Duration::micros(100);
+  cfg.bytes_per_second = 1'000'000;  // 1 MB/s
+  NetFixture f(cfg);
+  f.send(0, 1, "big", 1000);  // +1 ms
+  f.sim.run();
+  EXPECT_EQ(f.sim.now() - SimTime::zero(),
+            Duration::micros(100) + Duration::millis(1));
+}
+
+TEST(NetworkTest, ChannelIsFifoEvenWithJitter) {
+  NetworkConfig cfg;
+  cfg.jitter_max = Duration::micros(500);
+  NetFixture f(cfg);
+  for (int i = 0; i < 50; ++i) f.send(0, 1, std::to_string(i));
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(f.received[static_cast<size_t>(i)].second, std::to_string(i));
+  }
+}
+
+TEST(NetworkTest, PartitionDropsBothDirections) {
+  NetFixture f;
+  f.net->sever_pair(NodeId(0), NodeId(1));
+  f.send(0, 1, "a");
+  f.send(1, 0, "b");
+  f.send(0, 2, "c");  // unaffected
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].second, "c");
+  EXPECT_EQ(f.stats.get("net.dropped.partition"), 2);
+}
+
+TEST(NetworkTest, PartitionKillsInFlightTraffic) {
+  NetFixture f;
+  f.send(0, 1, "inflight");
+  // Sever while the message is on the wire.
+  f.sim.schedule_after(Duration::micros(50), [&] {
+    f.net->sever(NodeId(0), NodeId(1));
+  });
+  f.sim.run();
+  EXPECT_TRUE(f.received.empty());
+}
+
+TEST(NetworkTest, HealRestoresDelivery) {
+  NetFixture f;
+  f.net->sever_pair(NodeId(0), NodeId(1));
+  f.send(0, 1, "lost");
+  f.net->heal_pair(NodeId(0), NodeId(1));
+  f.send(0, 1, "found");
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].second, "found");
+}
+
+TEST(NetworkTest, AsymmetricSever) {
+  NetFixture f;
+  f.net->sever(NodeId(0), NodeId(1));  // only 0 -> 1 cut
+  f.send(0, 1, "x");
+  f.send(1, 0, "y");
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].first, NodeId(0));
+  EXPECT_EQ(f.received[0].second, "y");
+}
+
+TEST(NetworkTest, DetachedNodeDropsTraffic) {
+  NetFixture f;
+  f.net->detach(NodeId(1));
+  f.send(0, 1, "gone");
+  f.sim.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.stats.get("net.dropped.down"), 1);
+}
+
+TEST(NetworkTest, DetachWhileInFlightDropsAtDelivery) {
+  NetFixture f;
+  f.send(0, 1, "racing");
+  f.sim.schedule_after(Duration::micros(50), [&] { f.net->detach(NodeId(1)); });
+  f.sim.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.stats.get("net.dropped.down"), 1);
+}
+
+TEST(NetworkTest, ProbabilisticLossIsApproximatelyCalibrated) {
+  NetworkConfig cfg;
+  cfg.loss_probability = 0.25;
+  NetFixture f(cfg);
+  for (int i = 0; i < 4000; ++i) f.send(0, 1, "p");
+  f.sim.run();
+  const double delivered = static_cast<double>(f.received.size());
+  EXPECT_NEAR(delivered / 4000.0, 0.75, 0.03);
+}
+
+TEST(NetworkTest, ReattachAfterDetachResumesDelivery) {
+  NetFixture f;
+  f.net->detach(NodeId(1));
+  f.send(0, 1, "lost");
+  f.sim.run();
+  f.net->attach(NodeId(1), [&](Envelope env) {
+    f.received.emplace_back(NodeId(1), env.kind);
+  });
+  f.send(0, 1, "back");
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].second, "back");
+}
+
+TEST(NetworkTest, StatsCountSendsAndDeliveries) {
+  NetFixture f;
+  f.send(0, 1, "a");
+  f.send(0, 2, "b");
+  f.sim.run();
+  EXPECT_EQ(f.stats.get("net.sent"), 2);
+  EXPECT_EQ(f.stats.get("net.delivered"), 2);
+}
+
+}  // namespace
+}  // namespace opc

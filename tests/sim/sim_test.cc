@@ -1,0 +1,226 @@
+// Simulation kernel: time arithmetic, event ordering, cancellation, RNG
+// determinism, trace hashing.
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace opc {
+namespace {
+
+TEST(SimTimeTest, ArithmeticAndComparisons) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + Duration::millis(5);
+  EXPECT_EQ((t1 - t0).count_nanos(), 5'000'000);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(t1 - Duration::millis(5), t0);
+  EXPECT_EQ(Duration::micros(100) * 3, Duration::micros(300));
+  EXPECT_EQ(Duration::seconds(1) / 4, Duration::millis(250));
+  EXPECT_EQ((-Duration::millis(2)).count_nanos(), -2'000'000);
+}
+
+TEST(SimTimeTest, FromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds_f(0.5).count_nanos(), 500'000'000);
+  EXPECT_EQ(Duration::from_seconds_f(1e-9).count_nanos(), 1);
+  // 8192 bytes at 400 KiB/s = 20 ms.
+  const Duration d = Duration::from_seconds_f(8192.0 / (400.0 * 1024.0));
+  EXPECT_EQ(d.count_nanos(), 20'000'000);
+}
+
+TEST(SimTimeTest, Rendering) {
+  EXPECT_EQ(to_string(Duration::millis(20)), "20.000ms");
+  EXPECT_EQ(to_string(Duration::micros(100)), "100.000us");
+  EXPECT_EQ(to_string(Duration::nanos(7)), "7ns");
+  EXPECT_EQ(to_string(Duration::seconds(3)), "3.000s");
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::millis(3), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::millis(1), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::millis(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::millis(3));
+}
+
+TEST(SimulatorTest, SameInstantIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_after(Duration::millis(1), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingFromCallbacks) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void(int)> chain = [&](int depth) {
+    ++fired;
+    if (depth < 10) {
+      sim.schedule_after(Duration::micros(1), [&, depth] { chain(depth + 1); });
+    }
+  };
+  sim.schedule_after(Duration::zero(), [&] { chain(0); });
+  EXPECT_EQ(sim.run(), 11u);
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_after(Duration::millis(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h)) << "double cancel is a no-op";
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, CancelAfterFireIsNoop) {
+  Simulator sim;
+  EventHandle h = sim.schedule_after(Duration::millis(1), [] {});
+  sim.schedule_after(Duration::millis(5), [] {});  // keeps queue non-empty
+  sim.run_until(SimTime::zero() + Duration::millis(2));
+  EXPECT_FALSE(sim.cancel(h));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadlineAndResumesCleanly) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::millis(1), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::millis(10), [&] { order.push_back(10); });
+  sim.run_until(SimTime::zero() + Duration::millis(5));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::millis(5));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 10}));
+}
+
+TEST(SimulatorTest, StopBreaksRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::millis(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_after(Duration::millis(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, IdleAndPendingCounts) {
+  Simulator sim;
+  EXPECT_TRUE(sim.idle());
+  EventHandle a = sim.schedule_after(Duration::millis(1), [] {});
+  sim.schedule_after(Duration::millis(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, StreamsDiffer) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformBoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = r.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.uniform01();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng r(11);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[r.index(10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, n / 10 - n / 50);
+    EXPECT_LT(b, n / 10 + n / 50);
+  }
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng r(13);
+  const Duration mean = Duration::millis(10);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(r.exponential(mean).count_nanos());
+  }
+  const double got = sum / n;
+  EXPECT_NEAR(got, 1e7, 1e7 * 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(w, v);
+}
+
+TEST(TraceTest, HashIsOrderAndContentSensitive) {
+  TraceRecorder a, b;
+  a.record(SimTime::zero(), TraceKind::kMessageSend, "mds0", "x", 1);
+  a.record(SimTime::zero(), TraceKind::kMessageRecv, "mds1", "x", 1);
+  b.record(SimTime::zero(), TraceKind::kMessageRecv, "mds1", "x", 1);
+  b.record(SimTime::zero(), TraceKind::kMessageSend, "mds0", "x", 1);
+  EXPECT_NE(a.history_hash(), b.history_hash());
+
+  TraceRecorder c;
+  c.record(SimTime::zero(), TraceKind::kMessageSend, "mds0", "x", 1);
+  c.record(SimTime::zero(), TraceKind::kMessageRecv, "mds1", "x", 1);
+  EXPECT_EQ(a.history_hash(), c.history_hash());
+}
+
+TEST(TraceTest, DisabledRecorderStoresNothing) {
+  TraceRecorder t(false);
+  t.record(SimTime::zero(), TraceKind::kInfo, "a", "b");
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TraceTest, PerTxnFilterAndRender) {
+  TraceRecorder t;
+  t.record(SimTime::zero(), TraceKind::kTxnBegin, "mds0", "begin", 7);
+  t.record(SimTime::zero() + Duration::millis(1), TraceKind::kTxnBegin,
+           "mds0", "begin", 8);
+  t.record(SimTime::zero() + Duration::millis(2), TraceKind::kTxnCommit,
+           "mds0", "done", 7);
+  EXPECT_EQ(t.for_txn(7).size(), 2u);
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("BEGIN"), std::string::npos);
+  EXPECT_NE(rendered.find("txn 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opc

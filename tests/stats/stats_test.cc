@@ -1,0 +1,147 @@
+// Statistics utilities: histogram quantiles/merge, counters, tables, meter.
+#include <gtest/gtest.h>
+
+#include "stats/counters.h"
+#include "stats/histogram.h"
+#include "stats/meter.h"
+#include "stats/table.h"
+
+namespace opc {
+namespace {
+
+TEST(HistogramTest, BasicStatistics) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_NEAR(h.stddev(), 29.01, 0.1);
+}
+
+TEST(HistogramTest, QuantilesWithinBinAccuracy) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(static_cast<double>(i));
+  // Log bins are ~2.5% wide; allow 5%.
+  EXPECT_NEAR(h.quantile(0.5), 5000, 5000 * 0.05);
+  EXPECT_NEAR(h.quantile(0.9), 9000, 9000 * 0.05);
+  EXPECT_NEAR(h.quantile(0.99), 9900, 9900 * 0.05);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10000.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(HistogramTest, MergePreservesTotals) {
+  Histogram a, b;
+  for (int i = 1; i <= 500; ++i) a.record(static_cast<double>(i));
+  for (int i = 501; i <= 1000; ++i) b.record(static_cast<double>(i));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 1000.0);
+  EXPECT_NEAR(a.quantile(0.5), 500, 500 * 0.05);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a, b;
+  b.record(42.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.max(), 42.0);
+}
+
+TEST(HistogramTest, DurationsAndSummary) {
+  Histogram h;
+  h.record(Duration::millis(10));
+  h.record(Duration::millis(20));
+  EXPECT_EQ(h.mean_duration(), Duration::millis(15));
+  EXPECT_NE(h.summary().find("n=2"), std::string::npos);
+}
+
+TEST(HistogramTest, WideDynamicRange) {
+  Histogram h;
+  h.record(1.0);       // 1 ns
+  h.record(1e9);       // 1 s
+  h.record(1e12);      // 1000 s
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.quantile(0.5), 1e9, 1e9 * 0.05);
+}
+
+TEST(CountersTest, AddGetSetMergeDump) {
+  StatsRegistry r;
+  EXPECT_EQ(r.get("missing"), 0);
+  r.add("a.b", 2);
+  r.add("a.b");
+  EXPECT_EQ(r.get("a.b"), 3);
+  r.set("gauge", 17);
+  EXPECT_EQ(r.get("gauge"), 17);
+
+  StatsRegistry s;
+  s.add("a.b", 10);
+  s.add("c", 1);
+  r.merge(s);
+  EXPECT_EQ(r.get("a.b"), 13);
+  EXPECT_EQ(r.get("c"), 1);
+
+  const std::string dump = r.dump();
+  EXPECT_NE(dump.find("a.b"), std::string::npos);
+  EXPECT_LT(dump.find("a.b"), dump.find("gauge")) << "dump sorted by name";
+}
+
+TEST(TableTest, RenderAlignsColumns) {
+  TextTable t({"proto", "ops/s"});
+  t.add_row({"PrN", "15.0"});
+  t.add_row({"1PC", "24.1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| proto |"), std::string::npos);
+  EXPECT_NE(out.find("| 1PC"), std::string::npos);
+  // Header + rule lines present.
+  EXPECT_NE(out.find("+-"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  TextTable t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(24.0, 1), "24.0");
+}
+
+TEST(MeterTest, RateOverWindow) {
+  ThroughputMeter m;
+  m.set_warmup_until(SimTime::zero() + Duration::seconds(1));
+  m.set_cutoff(SimTime::zero() + Duration::seconds(11));
+  // 100 events inside [1s, 11s), 5 before, 5 after.
+  for (int i = 0; i < 5; ++i) m.record(SimTime::zero() + Duration::millis(i));
+  for (int i = 0; i < 100; ++i) {
+    m.record(SimTime::zero() + Duration::seconds(1) + Duration::millis(i * 90));
+  }
+  for (int i = 0; i < 5; ++i) {
+    m.record(SimTime::zero() + Duration::seconds(12) + Duration::millis(i));
+  }
+  EXPECT_EQ(m.total_events(), 110u);
+  EXPECT_EQ(m.measured_events(), 100u);
+  EXPECT_DOUBLE_EQ(m.events_per_second_over(Duration::seconds(10)), 10.0);
+}
+
+TEST(MeterTest, FewEventsYieldZeroIntervalRate) {
+  ThroughputMeter m;
+  m.record(SimTime::zero() + Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(m.events_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(m.events_per_second_over(Duration::zero()), 0.0);
+}
+
+}  // namespace
+}  // namespace opc

@@ -1,0 +1,114 @@
+// Disk model: bandwidth timing, FIFO queueing, owner cancellation,
+// utilization accounting.
+#include <gtest/gtest.h>
+
+#include "storage/disk.h"
+
+namespace opc {
+namespace {
+
+struct DiskFixture {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace{false};
+  DiskConfig cfg;
+  std::unique_ptr<Disk> disk;
+
+  explicit DiskFixture(double bps = 400.0 * 1024.0,
+                       Duration fixed = Duration::zero()) {
+    cfg.bytes_per_second = bps;
+    cfg.fixed_latency = fixed;
+    disk = std::make_unique<Disk>(sim, "d0", cfg, stats, trace);
+  }
+};
+
+TEST(DiskTest, ServiceTimeMatchesBandwidth) {
+  DiskFixture f;
+  // 8 KiB at 400 KiB/s = 20 ms.
+  EXPECT_EQ(f.disk->service_time(8192), Duration::millis(20));
+  EXPECT_EQ(f.disk->service_time(4096), Duration::millis(10));
+}
+
+TEST(DiskTest, FixedLatencyAdds) {
+  DiskFixture f(400.0 * 1024.0, Duration::millis(5));
+  EXPECT_EQ(f.disk->service_time(8192), Duration::millis(25));
+}
+
+TEST(DiskTest, WriteCompletesAtServiceTime) {
+  DiskFixture f;
+  SimTime done;
+  f.disk->write(NodeId(0), 8192, "w", [&] { done = f.sim.now(); });
+  f.sim.run();
+  EXPECT_EQ(done - SimTime::zero(), Duration::millis(20));
+}
+
+TEST(DiskTest, RequestsQueueFifo) {
+  DiskFixture f;
+  std::vector<int> order;
+  std::vector<SimTime> times(3);
+  for (int i = 0; i < 3; ++i) {
+    f.disk->write(NodeId(0), 8192, "w" + std::to_string(i), [&, i] {
+      order.push_back(i);
+      times[static_cast<size_t>(i)] = f.sim.now();
+    });
+  }
+  EXPECT_EQ(f.disk->queue_depth(), 2u);  // one in service
+  f.sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(times[2] - SimTime::zero(), Duration::millis(60));
+}
+
+TEST(DiskTest, CancelOwnerDropsQueuedRequests) {
+  DiskFixture f;
+  int a_fired = 0, b_fired = 0;
+  f.disk->write(NodeId(0), 8192, "a", [&] { ++a_fired; });
+  f.disk->write(NodeId(1), 8192, "b", [&] { ++b_fired; });
+  f.disk->write(NodeId(0), 8192, "a2", [&] { ++a_fired; });
+  f.disk->cancel_owner(NodeId(0));  // kills in-service "a" and queued "a2"
+  f.sim.run();
+  EXPECT_EQ(a_fired, 0);
+  EXPECT_EQ(b_fired, 1);
+}
+
+TEST(DiskTest, CancelledInServiceStillOccupiesDeviceUntilAbort) {
+  DiskFixture f;
+  SimTime b_done;
+  f.disk->write(NodeId(0), 8192, "a", [] { FAIL() << "cancelled"; });
+  f.disk->write(NodeId(1), 8192, "b", [&] { b_done = f.sim.now(); });
+  f.disk->cancel_owner(NodeId(0));
+  f.sim.run();
+  // "b" starts only after "a"'s aborted transfer window ends.
+  EXPECT_EQ(b_done - SimTime::zero(), Duration::millis(40));
+}
+
+TEST(DiskTest, ReadsShareTheQueue) {
+  DiskFixture f;
+  std::vector<std::string> order;
+  f.disk->write(NodeId(0), 8192, "w", [&] { order.push_back("w"); });
+  f.disk->read(NodeId(1), 8192, "r", [&] { order.push_back("r"); });
+  f.sim.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"w", "r"}));
+}
+
+TEST(DiskTest, BusyTimeAccountsUtilization) {
+  DiskFixture f;
+  f.disk->write(NodeId(0), 8192, "w", [] {});
+  f.disk->write(NodeId(0), 8192, "w", [] {});
+  f.sim.run();
+  EXPECT_EQ(f.disk->busy_time(), Duration::millis(40));
+  EXPECT_FALSE(f.disk->busy());
+}
+
+TEST(DiskTest, NewWorkAfterIdleRestartsService) {
+  DiskFixture f;
+  int fired = 0;
+  f.disk->write(NodeId(0), 4096, "w", [&] { ++fired; });
+  f.sim.run();
+  f.disk->write(NodeId(0), 4096, "w2", [&] { ++fired; });
+  f.sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(f.sim.now() - SimTime::zero(), Duration::millis(20));
+}
+
+}  // namespace
+}  // namespace opc

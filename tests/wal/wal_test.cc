@@ -1,0 +1,288 @@
+// Write-ahead log: record codec (round-trip, torn writes), partition
+// queries, forced/lazy writer semantics, crash/fence behaviour, group
+// commit.
+#include <gtest/gtest.h>
+
+#include "wal/log_writer.h"
+#include "wal/partition.h"
+#include "wal/record.h"
+
+namespace opc {
+namespace {
+
+LogRecord make_rec(RecordType t, std::uint64_t txn, std::uint64_t bytes = 512,
+                   std::vector<std::uint8_t> payload = {}) {
+  LogRecord r;
+  r.type = t;
+  r.txn = txn;
+  r.writer = NodeId(0);
+  r.modeled_bytes = bytes;
+  r.payload = std::move(payload);
+  return r;
+}
+
+TEST(RecordCodec, RoundTripsAllTypes) {
+  for (auto t : {RecordType::kStarted, RecordType::kPrepared,
+                 RecordType::kCommitted, RecordType::kAborted,
+                 RecordType::kEnded, RecordType::kRedo, RecordType::kUpdate,
+                 RecordType::kCheckpoint}) {
+    LogRecord rec = make_rec(t, 42, 8192, {1, 2, 3, 4, 5});
+    std::vector<std::uint8_t> buf;
+    encode_record(rec, buf);
+    std::size_t off = 0;
+    const auto got = decode_record(buf, off);
+    ASSERT_TRUE(got.has_value()) << record_type_name(t);
+    EXPECT_EQ(*got, rec);
+    EXPECT_EQ(off, buf.size());
+  }
+}
+
+TEST(RecordCodec, MultipleRecordsDecodeSequentially) {
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    encode_record(make_rec(RecordType::kUpdate, i), buf);
+  }
+  std::size_t off = 0;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    const auto got = decode_record(buf, off);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->txn, i);
+  }
+  EXPECT_EQ(off, buf.size());
+}
+
+TEST(RecordCodec, DetectsTornWrite) {
+  std::vector<std::uint8_t> buf;
+  encode_record(make_rec(RecordType::kCommitted, 7, 512, {9, 9, 9}), buf);
+  // Truncate mid-record.
+  std::vector<std::uint8_t> torn(buf.begin(), buf.begin() + 10);
+  std::size_t off = 0;
+  EXPECT_FALSE(decode_record(torn, off).has_value());
+  EXPECT_EQ(off, 0u) << "offset untouched on failure";
+}
+
+TEST(RecordCodec, DetectsBitFlip) {
+  std::vector<std::uint8_t> buf;
+  encode_record(make_rec(RecordType::kCommitted, 7, 512, {1, 2, 3}), buf);
+  buf[buf.size() / 2] ^= 0x40;
+  std::size_t off = 0;
+  EXPECT_FALSE(decode_record(buf, off).has_value());
+}
+
+TEST(RecordCodec, DetectsBadMagic) {
+  std::vector<std::uint8_t> buf{0xde, 0xad, 0xbe, 0xef};
+  std::size_t off = 0;
+  EXPECT_FALSE(decode_record(buf, off).has_value());
+}
+
+TEST(RecordCodec, Crc32KnownVector) {
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+// ---------------------------------------------------------------------------
+
+struct WalFixture {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace{false};
+  SharedStorage storage{sim, stats, trace};
+  LogPartition* part;
+  std::unique_ptr<LogWriter> writer;
+
+  explicit WalFixture(WalConfig cfg = {}) {
+    DiskConfig dc;
+    dc.bytes_per_second = 400.0 * 1024.0;
+    part = &storage.add_partition(NodeId(0), dc);
+    writer = std::make_unique<LogWriter>(sim, NodeId(0), *part, stats, trace,
+                                         cfg);
+  }
+};
+
+TEST(LogWriterTest, ForceIsDurableExactlyAtCompletion) {
+  WalFixture f;
+  bool durable = false;
+  f.writer->force({make_rec(RecordType::kStarted, 1)}, {"started", true},
+                  [&] { durable = true; });
+  EXPECT_FALSE(durable);
+  EXPECT_TRUE(f.part->records().empty()) << "not durable before completion";
+  f.sim.run();
+  EXPECT_TRUE(durable);
+  ASSERT_EQ(f.part->records().size(), 1u);
+  // Padded to one 8 KiB block at 400 KiB/s = 20 ms.
+  EXPECT_EQ(f.sim.now() - SimTime::zero(), Duration::millis(20));
+}
+
+TEST(LogWriterTest, ForcePaddingRoundsUpToBlocks) {
+  WalFixture f;
+  // 3 records x 4096 modeled = 12 KiB -> 2 blocks -> 40 ms.
+  f.writer->force({make_rec(RecordType::kUpdate, 1, 4096),
+                   make_rec(RecordType::kUpdate, 1, 4096),
+                   make_rec(RecordType::kUpdate, 1, 4096)},
+                  {"u", true}, [] {});
+  f.sim.run();
+  EXPECT_EQ(f.sim.now() - SimTime::zero(), Duration::millis(40));
+}
+
+TEST(LogWriterTest, CrashLosesInFlightForce) {
+  WalFixture f;
+  bool durable = false;
+  f.writer->force({make_rec(RecordType::kCommitted, 1)}, {"c", true},
+                  [&] { durable = true; });
+  f.sim.run_until(SimTime::zero() + Duration::millis(10));  // mid-write
+  f.writer->crash();
+  f.sim.run();
+  EXPECT_FALSE(durable);
+  EXPECT_TRUE(f.part->records().empty());
+}
+
+TEST(LogWriterTest, CrashLosesLazyBuffer) {
+  WalFixture f;
+  f.writer->lazy(make_rec(RecordType::kEnded, 1), {"e", false});
+  EXPECT_EQ(f.writer->lazy_buffered(), 1u);
+  f.writer->crash();
+  f.sim.run();
+  EXPECT_TRUE(f.part->records().empty());
+}
+
+TEST(LogWriterTest, LazyBecomesDurableViaBackgroundFlush) {
+  WalFixture f;
+  f.writer->lazy(make_rec(RecordType::kEnded, 1), {"e", false});
+  f.sim.run();
+  ASSERT_EQ(f.part->records().size(), 1u);
+  EXPECT_EQ(f.part->records()[0].type, RecordType::kEnded);
+}
+
+TEST(LogWriterTest, LazyPiggybacksOnNextForce) {
+  WalFixture f;
+  f.writer->lazy(make_rec(RecordType::kEnded, 1), {"e", false});
+  f.writer->force({make_rec(RecordType::kStarted, 2)}, {"s", true}, [] {});
+  f.sim.run();
+  ASSERT_EQ(f.part->records().size(), 2u);
+  // Lazy record rides in front (it was logically written first).
+  EXPECT_EQ(f.part->records()[0].type, RecordType::kEnded);
+  EXPECT_EQ(f.part->records()[1].type, RecordType::kStarted);
+  EXPECT_EQ(f.stats.get("wal.force.count"), 1);
+}
+
+TEST(LogWriterTest, FencedWriterDropsForcesSilently) {
+  WalFixture f;
+  f.storage.fence(NodeId(0));
+  bool durable = false;
+  f.writer->force({make_rec(RecordType::kCommitted, 1)}, {"c", true},
+                  [&] { durable = true; });
+  f.sim.run();
+  EXPECT_FALSE(durable);
+  EXPECT_EQ(f.stats.get("wal.force.dropped"), 1);
+}
+
+TEST(LogWriterTest, GroupCommitCoalescesConcurrentForces) {
+  WalConfig cfg;
+  cfg.group_commit = true;
+  WalFixture f(cfg);
+  int done = 0;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    f.writer->force({make_rec(RecordType::kCommitted, i)}, {"c", true},
+                    [&] { ++done; });
+  }
+  f.sim.run();
+  EXPECT_EQ(done, 4);
+  // One leading write + one coalesced write of the other three
+  // (3 x 512 B still fits one block): 2 x 20 ms.
+  EXPECT_EQ(f.sim.now() - SimTime::zero(), Duration::millis(40));
+  EXPECT_EQ(f.stats.get("wal.force.coalesced"), 3);
+}
+
+TEST(LogWriterTest, WithoutGroupCommitForcesSerialize) {
+  WalFixture f;
+  int done = 0;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    f.writer->force({make_rec(RecordType::kCommitted, i)}, {"c", true},
+                    [&] { ++done; });
+  }
+  f.sim.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(f.sim.now() - SimTime::zero(), Duration::millis(80));
+}
+
+TEST(LogWriterTest, CriticalTagCountsSeparately) {
+  WalFixture f;
+  f.writer->force({make_rec(RecordType::kStarted, 1)}, {"s", true}, [] {});
+  f.writer->force({make_rec(RecordType::kCommitted, 1)}, {"c", false}, [] {});
+  f.writer->lazy(make_rec(RecordType::kEnded, 1), {"e", true});
+  f.sim.run();
+  EXPECT_EQ(f.stats.get("wal.force.count"), 2);
+  EXPECT_EQ(f.stats.get("wal.force.critical"), 1);
+  EXPECT_EQ(f.stats.get("wal.lazy.count"), 1);
+  EXPECT_EQ(f.stats.get("wal.lazy.critical"), 1);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(PartitionTest, QueriesAndTruncate) {
+  WalFixture f;
+  f.part->append_durable({make_rec(RecordType::kStarted, 1),
+                          make_rec(RecordType::kUpdate, 1),
+                          make_rec(RecordType::kPrepared, 1),
+                          make_rec(RecordType::kStarted, 2)});
+  EXPECT_EQ(f.part->last_state_for(1), RecordType::kPrepared);
+  EXPECT_EQ(f.part->last_state_for(2), RecordType::kStarted);
+  EXPECT_FALSE(f.part->last_state_for(3).has_value());
+  EXPECT_TRUE(f.part->has_record(1, RecordType::kUpdate));
+  EXPECT_EQ(f.part->records_for(1).size(), 3u);
+  EXPECT_EQ(f.part->live_transactions(), (std::vector<std::uint64_t>{1, 2}));
+
+  f.part->truncate_txn(1);
+  EXPECT_FALSE(f.part->last_state_for(1).has_value());
+  EXPECT_EQ(f.part->records().size(), 1u);
+}
+
+TEST(PartitionTest, UpdateRecordsDoNotCountAsState) {
+  WalFixture f;
+  f.part->append_durable({make_rec(RecordType::kUpdate, 1),
+                          make_rec(RecordType::kRedo, 1)});
+  EXPECT_FALSE(f.part->last_state_for(1).has_value());
+}
+
+TEST(SharedStorageTest, ForeignReadReturnsSnapshotAfterScanDelay) {
+  WalFixture f;
+  DiskConfig dc;
+  dc.bytes_per_second = 400.0 * 1024.0;
+  f.storage.add_partition(NodeId(1), dc);
+  f.part->append_durable({make_rec(RecordType::kCommitted, 9, 8192)});
+  f.storage.fence(NodeId(0));
+
+  std::vector<LogRecord> got;
+  SimTime when;
+  f.storage.read_partition(NodeId(1), NodeId(0),
+                           [&](std::vector<LogRecord> recs) {
+                             got = std::move(recs);
+                             when = f.sim.now();
+                           });
+  f.sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].txn, 9u);
+  EXPECT_EQ(when - SimTime::zero(), Duration::millis(20));  // 8 KiB scan
+  EXPECT_EQ(f.stats.get("storage.reads.unfenced"), 0);
+}
+
+TEST(SharedStorageTest, UnfencedForeignReadIsCounted) {
+  WalFixture f;
+  f.storage.read_partition(NodeId(1), NodeId(0), [](std::vector<LogRecord>) {});
+  f.sim.run();
+  EXPECT_EQ(f.stats.get("storage.reads.unfenced"), 1);
+}
+
+TEST(SharedStorageTest, UnfenceRestoresWrites) {
+  WalFixture f;
+  f.storage.fence(NodeId(0));
+  f.storage.unfence(NodeId(0));
+  bool durable = false;
+  f.writer->force({make_rec(RecordType::kStarted, 1)}, {"s", true},
+                  [&] { durable = true; });
+  f.sim.run();
+  EXPECT_TRUE(durable);
+}
+
+}  // namespace
+}  // namespace opc

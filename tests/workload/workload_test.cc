@@ -1,0 +1,195 @@
+// Workload sources: closed-loop pacing, abort resubmission, client
+// watchdogs, mixed-workload image consistency.
+#include <gtest/gtest.h>
+
+#include "mds/namespace.h"
+#include "workload/source.h"
+
+namespace opc {
+namespace {
+
+struct WorkloadFixture {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace{false};
+  ClusterConfig cc;
+  std::unique_ptr<Cluster> cluster;
+  IdAllocator ids;
+  std::unique_ptr<PinnedPartitioner> part;
+  std::unique_ptr<NamespacePlanner> planner;
+  ThroughputMeter meter;
+  ObjectId dir;
+
+  explicit WorkloadFixture(ProtocolKind proto = ProtocolKind::kOnePC) {
+    cc.n_nodes = 2;
+    cc.protocol = proto;
+    cluster = std::make_unique<Cluster>(sim, cc, stats, trace);
+    dir = ids.next();
+    part = std::make_unique<PinnedPartitioner>(2, NodeId(1));
+    part->assign(dir, NodeId(0));
+    cluster->bootstrap_directory(dir, NodeId(0));
+    planner = std::make_unique<NamespacePlanner>(*part, OpCosts{});
+  }
+};
+
+TEST(CreateStorm, MaxOpsBoundsIssuedWork) {
+  WorkloadFixture f;
+  SourceConfig cfg;
+  cfg.concurrency = 4;
+  cfg.max_ops = 20;
+  CreateStormSource src(f.sim, *f.cluster, cfg, f.meter, f.stats, *f.planner,
+                        f.ids, f.dir);
+  src.start();
+  f.sim.run();
+  EXPECT_EQ(src.issued(), 20u);
+  EXPECT_EQ(src.committed(), 20u);
+  EXPECT_EQ(src.aborted(), 0u);
+  EXPECT_EQ(f.cluster->store(NodeId(0)).stable_dentry_count(), 20u);
+}
+
+TEST(CreateStorm, ClosedLoopKeepsConcurrencyBounded) {
+  // PrN replies to the client only when the transaction fully finishes, so
+  // engine-side active coordinations directly mirror the closed loop.  (1PC
+  // intentionally pipelines its commit tail past the reply.)
+  WorkloadFixture f(ProtocolKind::kPrN);
+  SourceConfig cfg;
+  cfg.concurrency = 3;
+  cfg.max_ops = 30;
+  CreateStormSource src(f.sim, *f.cluster, cfg, f.meter, f.stats, *f.planner,
+                        f.ids, f.dir);
+  src.start();
+  // At any instant the coordinator holds at most `concurrency` transactions.
+  std::size_t max_seen = 0;
+  for (int step = 0; step < 100000 && !f.sim.idle(); ++step) {
+    f.sim.step();
+    max_seen = std::max(max_seen,
+                        f.cluster->engine(NodeId(0)).active_coordinations());
+  }
+  EXPECT_LE(max_seen, 3u);
+  EXPECT_EQ(src.committed(), 30u);
+}
+
+TEST(CreateStorm, ThinkTimeSlowsIssueRate) {
+  WorkloadFixture f;
+  SourceConfig fast_cfg;
+  fast_cfg.concurrency = 1;
+  fast_cfg.max_ops = 5;
+  CreateStormSource fast(f.sim, *f.cluster, fast_cfg, f.meter, f.stats,
+                         *f.planner, f.ids, f.dir, "fast");
+  fast.start();
+  f.sim.run();
+  const SimTime t_fast = f.sim.now();
+
+  WorkloadFixture g;
+  SourceConfig slow_cfg = fast_cfg;
+  slow_cfg.think_time = Duration::millis(100);
+  CreateStormSource slow(g.sim, *g.cluster, slow_cfg, g.meter, g.stats,
+                         *g.planner, g.ids, g.dir, "slow");
+  slow.start();
+  g.sim.run();
+  // 4 think pauses of 100 ms; the last one overlaps the asynchronous commit
+  // tail, hence the slightly sub-400ms bound.
+  EXPECT_GT(g.sim.now() - SimTime::zero(),
+            (t_fast - SimTime::zero()) + Duration::millis(350));
+}
+
+TEST(CreateStorm, BatchModePlansMultiCreateTransactions) {
+  WorkloadFixture f;
+  SourceConfig cfg;
+  cfg.concurrency = 1;
+  cfg.max_ops = 4;
+  CreateStormSource src(f.sim, *f.cluster, cfg, f.meter, f.stats, *f.planner,
+                        f.ids, f.dir, "b", /*batch=*/8);
+  src.start();
+  f.sim.run();
+  EXPECT_EQ(src.committed(), 4u);
+  EXPECT_EQ(f.cluster->store(NodeId(0)).stable_dentry_count(), 32u)
+      << "4 transactions x 8 files";
+  EXPECT_TRUE(f.cluster->check_invariants({f.dir}).empty());
+}
+
+TEST(Watchdog, CoordinatorCrashDoesNotStallTheLoop) {
+  WorkloadFixture f;
+  SourceConfig cfg;
+  cfg.concurrency = 2;
+  cfg.max_ops = 0;
+  cfg.client_timeout = Duration::millis(500);
+  CreateStormSource src(f.sim, *f.cluster, cfg, f.meter, f.stats, *f.planner,
+                        f.ids, f.dir);
+  src.start();
+  f.cluster->schedule_crash(NodeId(0), Duration::millis(30),
+                            Duration::millis(200));
+  f.sim.run_until(SimTime::zero() + Duration::seconds(10));
+  src.stop();
+  f.sim.run_until(SimTime::zero() + Duration::seconds(20));
+  EXPECT_GT(src.lost(), 0u) << "the crash must have eaten replies";
+  EXPECT_GT(src.committed(), 20u) << "yet the loop kept making progress";
+  EXPECT_TRUE(f.cluster->check_invariants({f.dir}).empty());
+}
+
+TEST(OpenLoop, ArrivalRateIsRespectedAndLatencyRecorded) {
+  WorkloadFixture f;
+  OpenLoopCreateSource src(f.sim, *f.cluster, /*ops_per_second=*/10.0,
+                           f.meter, f.stats, *f.planner, f.ids, f.dir,
+                           /*seed=*/3);
+  f.meter.set_warmup_until(SimTime::zero() + Duration::seconds(5));
+  f.meter.set_cutoff(SimTime::zero() + Duration::seconds(65));
+  src.start(SimTime::zero() + Duration::seconds(65));
+  f.sim.run_until(SimTime::zero() + Duration::seconds(80));
+
+  // 10 ops/s offered, capacity ~25: achieved rate tracks the offer.
+  const double achieved = f.meter.events_per_second_over(Duration::seconds(60));
+  EXPECT_NEAR(achieved, 10.0, 1.5);
+  EXPECT_GT(src.latency().count(), 400u);
+  // Unloaded-ish latency: a create takes ~40 ms under 1PC plus queueing.
+  EXPECT_GT(src.latency().quantile_duration(0.5), Duration::millis(35));
+  EXPECT_LT(src.latency().quantile_duration(0.5), Duration::millis(200));
+  EXPECT_TRUE(f.cluster->check_invariants({f.dir}).empty());
+}
+
+TEST(OpenLoop, StopsIssuingAtDeadline) {
+  WorkloadFixture f;
+  OpenLoopCreateSource src(f.sim, *f.cluster, 20.0, f.meter, f.stats,
+                           *f.planner, f.ids, f.dir, 4);
+  src.start(SimTime::zero() + Duration::seconds(2));
+  f.sim.run_until(SimTime::zero() + Duration::seconds(30));
+  const std::uint64_t issued_at_deadline = src.issued();
+  f.sim.run_until(SimTime::zero() + Duration::seconds(40));
+  EXPECT_EQ(src.issued(), issued_at_deadline);
+  EXPECT_LE(src.committed(), src.issued());
+  EXPECT_GT(src.committed(), 20u);
+}
+
+TEST(MixedWorkloadSource, ImageMatchesClusterState) {
+  WorkloadFixture f;
+  SourceConfig cfg;
+  cfg.concurrency = 4;
+  cfg.max_ops = 200;
+  MixedSource src(f.sim, *f.cluster, cfg, f.meter, f.stats, *f.planner,
+                  f.ids, {f.dir}, MixedSource::Mix{0.5, 0.3}, 42);
+  src.start();
+  f.sim.run();
+  EXPECT_EQ(src.committed() + src.aborted(), 200u);
+  EXPECT_EQ(src.aborted(), 0u)
+      << "the image prevents conflicting self-submissions";
+  EXPECT_TRUE(f.cluster->check_invariants({f.dir}).empty());
+}
+
+TEST(MixedWorkloadSource, DeterministicForFixedSeed) {
+  auto run_once = [] {
+    WorkloadFixture f;
+    SourceConfig cfg;
+    cfg.concurrency = 4;
+    cfg.max_ops = 100;
+    ThroughputMeter meter;
+    MixedSource src(f.sim, *f.cluster, cfg, meter, f.stats, *f.planner, f.ids,
+                    {f.dir}, MixedSource::Mix{0.6, 0.2}, 99);
+    src.start();
+    f.sim.run();
+    return f.cluster->store(NodeId(0)).stable_dentry_count();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace opc

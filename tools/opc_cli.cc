@@ -1,0 +1,324 @@
+// opc — command-line driver for the simulation library.
+//
+// Runs any experiment the benches run, but parameterized from the command
+// line and with optional CSV output, so new studies don't need a recompile:
+//
+//   opc storm  --proto 1pc --concurrency 100 --seconds 30
+//   opc storm  --proto all --net-latency-us 5000 --csv
+//   opc mixed  --nodes 8 --dirs 16 --ops 5000 --renames 0.1
+//   opc sweep  --param disk-bw --values 102400,409600,1638400 --csv
+//   opc timeline --proto prc
+//   opc table1
+//
+// Run `opc help` for the full reference.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "core/timeline.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace opc;
+
+// ---------------------------------------------------------------------------
+// Tiny argument parser: --key value pairs after the subcommand.
+// ---------------------------------------------------------------------------
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        ok_ = false;
+        return;
+      }
+      kv_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      // Allow a lone trailing boolean flag (e.g. --csv).
+      const char* last = argv[argc - 1];
+      if (std::strncmp(last, "--", 2) == 0) {
+        kv_[last + 2] = "true";
+      } else {
+        std::fprintf(stderr, "dangling argument '%s'\n", last);
+        ok_ = false;
+      }
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+  [[nodiscard]] std::int64_t num(const std::string& key,
+                                 std::int64_t dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::atoll(it->second.c_str());
+  }
+  [[nodiscard]] double real(const std::string& key, double dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    auto it = kv_.find(key);
+    return it != kv_.end() && it->second != "false" && it->second != "0";
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  bool ok_ = true;
+};
+
+bool parse_protocols(const std::string& s, std::vector<ProtocolKind>& out) {
+  if (s == "all") {
+    out.assign(std::begin(kAllProtocols), std::end(kAllProtocols));
+    return true;
+  }
+  if (s == "all+") {
+    out.assign(std::begin(kAllProtocolsExt), std::end(kAllProtocolsExt));
+    return true;
+  }
+  if (s == "prn") out = {ProtocolKind::kPrN};
+  else if (s == "prc") out = {ProtocolKind::kPrC};
+  else if (s == "ep") out = {ProtocolKind::kEP};
+  else if (s == "1pc") out = {ProtocolKind::kOnePC};
+  else if (s == "pra") out = {ProtocolKind::kPrA};
+  else return false;
+  return true;
+}
+
+ExperimentConfig config_from_args(const Args& a, ProtocolKind proto) {
+  ExperimentConfig cfg = paper_fig6_config(proto);
+  cfg.cluster.n_nodes = static_cast<std::uint32_t>(a.num("nodes", 2));
+  cfg.cluster.net.latency = Duration::micros(a.num("net-latency-us", 100));
+  cfg.cluster.disk.bytes_per_second = a.real("disk-bw", 400.0 * 1024.0);
+  cfg.cluster.wal.force_pad_to =
+      static_cast<std::uint64_t>(a.num("block", 8192));
+  cfg.cluster.wal.group_commit = a.flag("group-commit");
+  cfg.cluster.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  cfg.source.concurrency =
+      static_cast<std::uint32_t>(a.num("concurrency", 100));
+  cfg.run_for = Duration::seconds(a.num("seconds", 30));
+  cfg.warmup = Duration::seconds(std::max<std::int64_t>(
+      1, a.num("warmup", a.num("seconds", 30) / 6)));
+  cfg.n_directories = static_cast<std::uint32_t>(a.num("dirs", 1));
+  if (a.num("crash-period-ms", 0) > 0) {
+    cfg.crash_period = Duration::millis(a.num("crash-period-ms", 0));
+    cfg.cluster.acp.response_timeout = Duration::millis(300);
+    cfg.cluster.acp.retry_interval = Duration::millis(100);
+    cfg.cluster.heartbeat.enabled = true;
+    cfg.source.client_timeout = Duration::seconds(15);
+  }
+  return cfg;
+}
+
+void print_results(const std::vector<ProtocolKind>& protos,
+                   const std::vector<ExperimentResult>& results, bool csv) {
+  TextTable table({"protocol", "ops_per_second", "committed", "aborted",
+                   "lost", "p50_latency_ms", "p99_latency_ms",
+                   "coordinator_disk_busy", "invariant_violations"});
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({std::string(protocol_name(protos[i])),
+                   TextTable::num(r.ops_per_second, 3),
+                   std::to_string(r.committed), std::to_string(r.aborted),
+                   std::to_string(r.lost),
+                   TextTable::num(r.latency.quantile_duration(0.5).to_millis_f(), 2),
+                   TextTable::num(r.latency.quantile_duration(0.99).to_millis_f(), 2),
+                   TextTable::num(r.coordinator_disk_busy, 3),
+                   std::to_string(r.invariant_violations)});
+  }
+  std::fputs(csv ? table.render_csv().c_str() : table.render().c_str(),
+             stdout);
+}
+
+int cmd_storm(const Args& a, bool batch_mode) {
+  std::vector<ProtocolKind> protos;
+  if (!parse_protocols(a.str("proto", "all"), protos)) {
+    std::fprintf(stderr, "unknown --proto (prn|prc|ep|1pc|pra|all|all+)\n");
+    return 2;
+  }
+  const auto batch = static_cast<std::uint32_t>(a.num("batch", 1));
+  const auto results = ParallelSweep::map<ProtocolKind, ExperimentResult>(
+      protos, [&](const ProtocolKind& p) {
+        const ExperimentConfig cfg = config_from_args(a, p);
+        return batch_mode ? run_batched_storm(cfg, batch)
+                          : run_create_storm(cfg);
+      });
+  print_results(protos, results, a.flag("csv"));
+  for (const auto& r : results) {
+    if (r.invariant_violations != 0) return 1;
+  }
+  return 0;
+}
+
+int cmd_mixed(const Args& a) {
+  std::vector<ProtocolKind> protos;
+  if (!parse_protocols(a.str("proto", "1pc"), protos)) return 2;
+  MixedSource::Mix mix;
+  mix.create = a.real("creates", 0.6);
+  mix.remove = a.real("deletes", 0.25);
+  const auto dirs = static_cast<std::uint32_t>(a.num("dirs", 8));
+  const auto results = ParallelSweep::map<ProtocolKind, ExperimentResult>(
+      protos, [&](const ProtocolKind& p) {
+        ExperimentConfig cfg = config_from_args(a, p);
+        if (cfg.cluster.n_nodes < 3) cfg.cluster.n_nodes = 4;
+        cfg.cluster.record_history = true;
+        cfg.source.concurrency =
+            static_cast<std::uint32_t>(a.num("concurrency", 8));
+        cfg.source.max_ops = static_cast<std::uint64_t>(a.num("ops", 2000));
+        return run_mixed(cfg, mix, dirs);
+      });
+  print_results(protos, results, a.flag("csv"));
+  return 0;
+}
+
+int cmd_sweep(const Args& a) {
+  const std::string param = a.str("param", "");
+  const std::string values = a.str("values", "");
+  if (param.empty() || values.empty()) {
+    std::fprintf(stderr,
+                 "usage: opc sweep --param "
+                 "(net-latency-us|disk-bw|concurrency|dirs) --values "
+                 "v1,v2,... [--proto all] [--csv]\n");
+    return 2;
+  }
+  std::vector<double> vals;
+  std::size_t pos = 0;
+  while (pos < values.size()) {
+    const std::size_t comma = values.find(',', pos);
+    vals.push_back(std::atof(values.substr(pos, comma - pos).c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  std::vector<ProtocolKind> protos;
+  if (!parse_protocols(a.str("proto", "all"), protos)) return 2;
+
+  struct Cell {
+    double value;
+    ProtocolKind proto;
+  };
+  std::vector<Cell> cells;
+  for (double v : vals) {
+    for (ProtocolKind p : protos) cells.push_back({v, p});
+  }
+  const auto results = ParallelSweep::map<Cell, ExperimentResult>(
+      cells, [&](const Cell& c) {
+        ExperimentConfig cfg = config_from_args(a, c.proto);
+        if (param == "net-latency-us") {
+          cfg.cluster.net.latency =
+              Duration::micros(static_cast<std::int64_t>(c.value));
+        } else if (param == "disk-bw") {
+          cfg.cluster.disk.bytes_per_second = c.value;
+        } else if (param == "concurrency") {
+          cfg.source.concurrency = static_cast<std::uint32_t>(c.value);
+        } else if (param == "dirs") {
+          cfg.n_directories = static_cast<std::uint32_t>(c.value);
+        }
+        return run_create_storm(cfg);
+      });
+
+  TextTable table({param, "protocol", "ops_per_second",
+                   "invariant_violations"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    table.add_row({TextTable::num(cells[i].value, 0),
+                   std::string(protocol_name(cells[i].proto)),
+                   TextTable::num(results[i].ops_per_second, 3),
+                   std::to_string(results[i].invariant_violations)});
+  }
+  std::fputs(a.flag("csv") ? table.render_csv().c_str()
+                           : table.render().c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_timeline(const Args& a) {
+  std::vector<ProtocolKind> protos;
+  if (!parse_protocols(a.str("proto", "all"), protos)) return 2;
+  for (ProtocolKind p : protos) {
+    const TimelineResult r = run_single_create(p);
+    std::printf("=== %s: one distributed CREATE ===\n",
+                std::string(protocol_name(p)).c_str());
+    std::printf("client latency %s, finished %s; writes (sync,async) total "
+                "(%d,%d) critical (%d,%d); extra msgs %d (critical %d)\n\n",
+                to_string(r.client_latency).c_str(),
+                to_string(r.txn_complete).c_str(), r.sync_writes,
+                r.async_writes, r.sync_writes_critical,
+                r.async_writes_critical, r.extra_msgs,
+                r.extra_msgs_critical);
+    std::fputs(r.chart.c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_table1() {
+  TextTable table({"protocol", "total (sync,async)", "critical (sync,async)",
+                   "total msgs", "critical msgs"});
+  for (ProtocolKind p : kAllProtocolsExt) {
+    const TimelineResult r = run_single_create(p);
+    table.add_row({std::string(protocol_name(p)),
+                   "(" + std::to_string(r.sync_writes) + ", " +
+                       std::to_string(r.async_writes) + ")",
+                   "(" + std::to_string(r.sync_writes_critical) + ", " +
+                       std::to_string(r.async_writes_critical) + ")",
+                   std::to_string(r.extra_msgs),
+                   std::to_string(r.extra_msgs_critical)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_help() {
+  std::puts(
+      "opc — One Phase Commit metadata-service simulator\n"
+      "\n"
+      "subcommands:\n"
+      "  storm     create storm into hot directories (the paper's Fig. 6)\n"
+      "  batch     storm with aggregated transactions (--batch N)\n"
+      "  mixed     mixed CREATE/DELETE/RENAME over a hash-partitioned tree\n"
+      "  sweep     parameter sweep (--param X --values a,b,c)\n"
+      "  timeline  message/log-write chart of one CREATE (Figs. 2-5)\n"
+      "  table1    per-protocol cost counters (Table I, + PrA extension)\n"
+      "  help      this text\n"
+      "\n"
+      "common flags (with defaults):\n"
+      "  --proto prn|prc|ep|1pc|pra|all|all+   (all = paper's four)\n"
+      "  --nodes 2          metadata servers\n"
+      "  --concurrency 100  outstanding client operations\n"
+      "  --seconds 30       measured simulated time (+ --warmup)\n"
+      "  --dirs 1           hot directories (all on mds0)\n"
+      "  --net-latency-us 100\n"
+      "  --disk-bw 409600   log device bytes/second\n"
+      "  --block 8192       forced-write block size\n"
+      "  --group-commit     coalesce concurrent log forces\n"
+      "  --crash-period-ms 0  inject worker crashes on a period\n"
+      "  --batch 1          creates per transaction (batch subcommand)\n"
+      "  --csv              machine-readable output\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return cmd_help();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  if (!args.ok()) return 2;
+  if (cmd == "storm") return cmd_storm(args, /*batch_mode=*/false);
+  if (cmd == "batch") return cmd_storm(args, /*batch_mode=*/true);
+  if (cmd == "mixed") return cmd_mixed(args);
+  if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "timeline") return cmd_timeline(args);
+  if (cmd == "table1") return cmd_table1();
+  return cmd_help();
+}
