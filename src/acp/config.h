@@ -25,6 +25,14 @@ struct AcpConfig {
 
   /// Fixed part of the REDO record's footprint (ops payload adds to it).
   std::uint64_t redo_record_bytes = 512;
+
+  /// TEST-ONLY fault: make the 1PC recovery read the suspected worker's
+  /// log WITHOUT fencing it first — the split-brain bug the paper's
+  /// §III-A fencing requirement exists to prevent (a merely partitioned,
+  /// still-live worker can commit after the coordinator saw an empty log
+  /// and aborted).  Exists so the chaos harness (src/chaos) can prove its
+  /// oracles catch a real protocol bug.  Never enable outside tests.
+  bool unsafe_skip_fencing = false;
 };
 
 }  // namespace opc

@@ -68,6 +68,14 @@ std::vector<ObjectId> AcpEngine::sorted_objects(
 void AcpEngine::record_accesses(TxnId txn,
                                 const std::vector<Operation>& ops) {
   if (history_ == nullptr) return;
+  // A recovery re-drive of a transaction whose effects already reached
+  // stable state re-runs the protocol, but its store effects are no-ops
+  // (replay_committed is idempotent).  Recording fresh accesses for such a
+  // re-drive would plant artificial late edges in the conflict order: the
+  // txn can become stable_applied during recovery *before* its own
+  // COMMITTED record is durable, so a second crash re-drives it yet again
+  // long after unrelated transactions touched the same objects.
+  if (store_.stable_applied(txn)) return;
   for (const Operation& op : ops) {
     if (op.target.valid()) {
       history_->record_access(txn, op.target, !op_is_read(op.type),
@@ -82,6 +90,12 @@ LogRecord AcpEngine::state_record(RecordType t, TxnId txn) const {
   rec.txn = txn;
   rec.writer = self_;
   rec.modeled_bytes = cfg_.state_record_bytes;
+  return rec;
+}
+
+LogRecord AcpEngine::ended_record(TxnId txn, TxnOutcome outcome) const {
+  LogRecord rec = state_record(RecordType::kEnded, txn);
+  rec.payload.push_back(outcome == TxnOutcome::kCommitted ? 1 : 0);
   return rec;
 }
 
@@ -448,7 +462,31 @@ void AcpEngine::send_decision_round(CoordTxn& ct, MsgType type) {
 
 void AcpEngine::on_updated(TxnId id, const Msg& m) {
   CoordTxn* ct = coord_of(id);
-  if (ct == nullptr || ct->aborting) return;
+  if (ct == nullptr) {
+    // A nudged UPDATED for a transaction this coordinator no longer tracks
+    // (PrA notifies aborts once and forgets; duplicates can outlive the
+    // ACK round elsewhere): answer with the recorded or presumed decision
+    // so the worker can release its locks.  First-transmission copies that
+    // merely race the decision are dropped — the decision round in flight
+    // already resolves that worker, and answering would tax every abort
+    // with a redundant message.
+    if (!m.nudge) return;
+    auto it = finished_.find(id);
+    const TxnOutcome out =
+        it != finished_.end()
+            ? it->second
+            : ((m.proto == ProtocolKind::kPrC || m.proto == ProtocolKind::kEP)
+                   ? TxnOutcome::kCommitted
+                   : TxnOutcome::kAborted);
+    Msg r;
+    r.type = out == TxnOutcome::kCommitted ? MsgType::kCommit
+                                           : MsgType::kAbort;
+    r.txn = id;
+    r.proto = m.proto;
+    send(m.from, std::move(r), /*extra=*/true, /*critical=*/false);
+    return;
+  }
+  if (ct->aborting) return;
   if (ct->phase != CoordPhase::kUpdating) return;  // stale duplicate
   ct->updated.insert(m.from.value());
   if (m.prepared) ct->prepared.insert(m.from.value());
@@ -631,7 +669,7 @@ void AcpEngine::on_all_acked(TxnId id) {
   // Finalize: the log can be checkpointed and garbage collected.  The ENDED
   // write is asynchronous but still precedes the PrN client reply, which is
   // why Table I counts one async write on PrN's critical path.
-  wal_.lazy(state_record(RecordType::kEnded, id),
+  wal_.lazy(ended_record(id, outcome),
             WriteTag{"ended", outcome == TxnOutcome::kCommitted});
   reply_client(*ct, outcome);
   wal_.partition().truncate_txn(id);
@@ -862,6 +900,29 @@ void AcpEngine::worker_after_updates(TxnId id) {
     r.txn = id;
     r.proto = wt->proto;
     send(wt->coord, std::move(r), /*extra=*/false, /*critical=*/false);
+    // The UPDATED reply — or the decision it provokes — can be lost, and a
+    // PrA coordinator announces aborts only once before forgetting.  Keep
+    // nudging until the vote round or a decision moves us out of kUpdated;
+    // a coordinator with no memory of the transaction answers from its
+    // log presumption.
+    if (cfg_.response_timeout > Duration::zero()) {
+      const std::uint64_t epoch = crash_epoch_;
+      sim_.cancel(wt->retry_timer);
+      wt->retry_timer = sim_.schedule_after(
+          cfg_.response_timeout, [this, id, epoch] {
+            if (epoch != crash_epoch_) return;
+            WorkTxn* w = work_of(id);
+            if (w == nullptr || w->phase != WorkPhase::kUpdated) return;
+            Msg nudge;
+            nudge.type = MsgType::kUpdated;
+            nudge.txn = id;
+            nudge.proto = w->proto;
+            nudge.nudge = true;
+            send(w->coord, std::move(nudge), /*extra=*/true,
+                 /*critical=*/false);
+            arm_worker_retry(id, MsgType::kUpdated);
+          });
+    }
   }
 }
 
@@ -879,6 +940,7 @@ void AcpEngine::worker_prepare(TxnId id, bool also_reply_updated) {
   }
   prepared.payload.push_back(static_cast<std::uint8_t>(wt->proto));
   recs.push_back(std::move(prepared));
+  wt->prepare_forced = true;
   const std::uint64_t epoch = crash_epoch_;
   wal_.force(std::move(recs), WriteTag{"prepare", /*critical=*/true},
              [this, id, epoch, also_reply_updated] {
@@ -1070,8 +1132,13 @@ void AcpEngine::worker_handle_abort(const Msg& m) {
     work_.erase(id);
     return;
   }
-  if (wt->phase == WorkPhase::kPrepared) {
-    // Invalidate the durable prepare.
+  if (wt->prepare_forced || wt->recovered ||
+      wt->phase == WorkPhase::kPrepared) {
+    // Invalidate the prepare — even one still in flight: the disk is FIFO,
+    // so this ABORTED lands after it.  Without the invalidation a late-
+    // landing PREPARED outlives the acked abort, and the next reboot
+    // re-drives it; under presumed-commit the forgotten coordinator would
+    // then answer COMMIT for an aborted transaction.
     wal_.lazy(state_record(RecordType::kAborted, id),
               WriteTag{"abort", /*critical=*/false});
   }
@@ -1169,7 +1236,7 @@ void AcpEngine::on_message(Envelope env) {
       if (WorkTxn* wt = work_of(m.txn);
           wt != nullptr && wt->phase == WorkPhase::kCommitted) {
         sim_.cancel(wt->retry_timer);
-        wal_.lazy(state_record(RecordType::kEnded, m.txn),
+        wal_.lazy(ended_record(m.txn, TxnOutcome::kCommitted),
                   WriteTag{"ended", /*critical=*/false});
         wal_.partition().truncate_txn(m.txn);
         finished_[m.txn] = TxnOutcome::kCommitted;

@@ -148,6 +148,7 @@ class AcpEngine {
     bool prepare_on_update = false;  // EP
     bool commit_on_update = false;   // 1PC
     bool recovered = false;          // reconstructed from the log on reboot
+    bool prepare_forced = false;     // a PREPARED record was sent to disk
     EventHandle retry_timer;
   };
 
@@ -201,6 +202,14 @@ class AcpEngine {
   void send(NodeId to, Msg m, bool extra, bool critical);
   void send_decision_round(CoordTxn& ct, MsgType type);
   [[nodiscard]] LogRecord state_record(RecordType t, TxnId txn) const;
+  /// ENDED with the outcome in the payload.  A coordinator writes ENDED for
+  /// both outcomes, and because the write is lazy it can land *after* the
+  /// checkpoint truncated the transaction — leaving ENDED as the only
+  /// surviving record.  Recovery must not guess the outcome from its bare
+  /// presence (an aborted transaction misread as committed lets a zombie
+  /// prepared worker commit — an atomicity violation the chaos checkers
+  /// catch), so the record carries it.
+  [[nodiscard]] LogRecord ended_record(TxnId txn, TxnOutcome outcome) const;
   [[nodiscard]] LogRecord update_record(TxnId txn,
                                         const std::vector<Operation>& ops) const;
   [[nodiscard]] static LockMode mode_for(const std::vector<Operation>& ops,

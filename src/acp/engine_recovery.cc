@@ -31,6 +31,20 @@ std::optional<RecordType> last_state_in(const std::vector<LogRecord>& recs,
   return last;
 }
 
+/// Outcome recorded in the latest ENDED record (see ended_record()).  An
+/// ENDED without a payload predates the outcome byte and can only have been
+/// written on the 1PC worker commit path, so commit is the right default.
+TxnOutcome ended_outcome(const std::vector<LogRecord>& recs, TxnId txn) {
+  for (auto it = recs.rbegin(); it != recs.rend(); ++it) {
+    if (it->txn == txn && it->type == RecordType::kEnded) {
+      return (!it->payload.empty() && it->payload[0] == 0)
+                 ? TxnOutcome::kAborted
+                 : TxnOutcome::kCommitted;
+    }
+  }
+  return TxnOutcome::kCommitted;
+}
+
 /// Worker-side PREPARED/COMMITTED records carry [coordinator:u32,
 /// proto:u8] so a rebooted worker knows whom to ask and how to finish.
 void parse_worker_payload(const LogRecord& rec, NodeId& coord,
@@ -121,7 +135,7 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
   switch (*state) {
     case RecordType::kEnded:
       wal_.partition().truncate_txn(id);
-      finished_[id] = TxnOutcome::kCommitted;
+      finished_[id] = ended_outcome(recs, id);
       return;
 
     case RecordType::kStarted: {
@@ -267,6 +281,29 @@ void AcpEngine::recover_worker_txn(TxnId id,
                 "worker log state " + std::string(record_type_name(*state)),
                 id);
 
+  // Coordinator state records carry no worker payload.  Finding one here —
+  // in a group with no STARTED — means the coordinator already finished and
+  // checkpointed this transaction, and a force that was still in flight at
+  // the checkpoint landed afterwards as a tombstone.  The disk is FIFO, so a
+  // tombstone PREPARED can only outlive the checkpoint when no COMMITTED
+  // force was ever queued behind it: the coordination aborted.  (A committed
+  // coordination's tombstone is the COMMITTED record itself.)
+  if ((*state == RecordType::kPrepared ||
+       *state == RecordType::kCommitted)) {
+    auto it = std::find_if(recs.rbegin(), recs.rend(), [&](const LogRecord& r) {
+      return r.type == *state;
+    });
+    SIM_CHECK(it != recs.rend());
+    if (it->payload.size() < 5) {
+      stats_.add("acp.recovery.coordinator_tombstone");
+      finished_[id] = *state == RecordType::kCommitted
+                          ? TxnOutcome::kCommitted
+                          : TxnOutcome::kAborted;
+      wal_.partition().truncate_txn(id);
+      return;
+    }
+  }
+
   switch (*state) {
     case RecordType::kPrepared: {
       stats_.add("acp.recovery.worker_prepared");
@@ -340,7 +377,7 @@ void AcpEngine::recover_worker_txn(TxnId id,
       return;
 
     case RecordType::kEnded:
-      finished_[id] = TxnOutcome::kCommitted;
+      finished_[id] = ended_outcome(recs, id);
       wal_.partition().truncate_txn(id);
       return;
 
@@ -377,6 +414,7 @@ void AcpEngine::arm_worker_retry(TxnId id, MsgType ask) {
         m.type = ask;
         m.txn = id;
         m.proto = w->proto;
+        m.nudge = true;  // retries are never the first transmission
         send(w->coord, std::move(m), /*extra=*/true, /*critical=*/false);
         arm_worker_retry(id, ask);
       });
@@ -416,6 +454,17 @@ void AcpEngine::start_fencing_recovery(TxnId id) {
 
   stats_.add("acp.onepc.fencing_recoveries");
   const std::uint64_t epoch = crash_epoch_;
+  if (cfg_.unsafe_skip_fencing) {
+    // TEST-ONLY bug (see AcpConfig): read the foreign log without STONITH.
+    // If the worker is merely partitioned it can still commit after this
+    // read — divergence the chaos oracles must catch.
+    storage_.read_partition(
+        self_, worker, [this, worker, epoch](std::vector<LogRecord> recs) {
+          if (epoch != crash_epoch_ || crashed_) return;
+          on_worker_log_batch(worker, recs);
+        });
+    return;
+  }
   fencing_->fence_and_isolate(self_, worker, [this, worker, epoch] {
     if (epoch != crash_epoch_ || crashed_) return;
     storage_.read_partition(
@@ -429,7 +478,7 @@ void AcpEngine::start_fencing_recovery(TxnId id) {
 void AcpEngine::on_worker_log_batch(NodeId worker,
                                     const std::vector<LogRecord>& records) {
   // The snapshot is in hand; the fenced worker may now be repaired.
-  fencing_->release(self_, worker);
+  if (!cfg_.unsafe_skip_fencing) fencing_->release(self_, worker);
   auto it = fence_waiters_.find(worker);
   if (it == fence_waiters_.end()) return;
   const std::vector<TxnId> waiting = std::move(it->second);
@@ -446,8 +495,10 @@ void AcpEngine::on_worker_log_read(TxnId id, NodeId worker,
   ct->fencing = false;
   const auto state = last_state_in(records, id);
   const bool committed =
-      state.has_value() && (*state == RecordType::kCommitted ||
-                            *state == RecordType::kEnded);
+      state.has_value() &&
+      (*state == RecordType::kCommitted ||
+       (*state == RecordType::kEnded &&
+        ended_outcome(records, id) == TxnOutcome::kCommitted));
   trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
                 committed ? "fenced log shows COMMITTED -> commit"
                           : "fenced log empty -> abort",

@@ -56,6 +56,7 @@ struct Msg {
   bool piggyback_commit = false;   // kUpdateReq: 1PC semantics
   bool prepared = false;           // kUpdated: EP worker already prepared
   bool committed = false;          // kUpdated: 1PC worker already committed
+  bool nudge = false;              // retry copy, not the first transmission
   TxnOutcome outcome = TxnOutcome::kPending;  // kDecision
 };
 

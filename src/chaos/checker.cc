@@ -1,0 +1,130 @@
+#include "chaos/checker.h"
+
+namespace opc {
+
+std::string render_failures(const std::vector<CheckFailure>& failures) {
+  std::string out;
+  for (const CheckFailure& f : failures) {
+    out += "  [" + f.oracle + "] " + f.detail + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void check_quiescence(CheckContext& ctx, std::vector<CheckFailure>& out) {
+  if (!ctx.drained) {
+    out.push_back({"quiescence", "drain loop hit its deadline"});
+  }
+  for (std::uint32_t i = 0; i < ctx.cluster.size(); ++i) {
+    const NodeId id(i);
+    if (!ctx.cluster.node(id).alive()) {
+      out.push_back({"quiescence", id.str() + " still down after drain"});
+      continue;
+    }
+    AcpEngine& e = ctx.cluster.engine(id);
+    if (e.active_coordinations() != 0) {
+      out.push_back({"quiescence",
+                     id.str() + " holds " +
+                         std::to_string(e.active_coordinations()) +
+                         " active coordinations"});
+    }
+    if (e.active_participations() != 0) {
+      out.push_back({"quiescence",
+                     id.str() + " holds " +
+                         std::to_string(e.active_participations()) +
+                         " active participations"});
+    }
+  }
+}
+
+void check_invariants(CheckContext& ctx, std::vector<CheckFailure>& out) {
+  const auto violations = ctx.cluster.check_invariants(ctx.roots);
+  if (!violations.empty()) {
+    out.push_back({"invariants", std::to_string(violations.size()) +
+                                     " violation(s):\n" +
+                                     render_violations(violations)});
+  }
+}
+
+void check_serializability(CheckContext& ctx,
+                           std::vector<CheckFailure>& out) {
+  HistoryRecorder* h = ctx.cluster.history();
+  if (h != nullptr && !h->serializable()) {
+    out.push_back(
+        {"serializability", "committed history has a conflict cycle"});
+  }
+}
+
+void check_fencing(CheckContext& ctx, std::vector<CheckFailure>& out) {
+  const std::int64_t foreign = ctx.stats.get("storage.reads.unfenced_foreign");
+  if (foreign > 0) {
+    out.push_back({"fencing",
+                   std::to_string(foreign) +
+                       " unfenced read(s) of a foreign log partition "
+                       "(split-brain hazard)"});
+  }
+}
+
+/// Snapshot of everything a crash must preserve.
+struct StableSnapshot {
+  std::vector<Inode> inodes;
+  std::vector<std::tuple<ObjectId, std::string, ObjectId>> dentries;
+
+  [[nodiscard]] bool operator==(const StableSnapshot&) const = default;
+};
+
+void check_durability(CheckContext& ctx, std::vector<CheckFailure>& out) {
+  const std::uint32_t n = ctx.cluster.size();
+  std::vector<StableSnapshot> before(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MetaStore& s = ctx.cluster.store(NodeId(i));
+    before[i] = {s.stable_inodes(), s.stable_dentries()};
+  }
+
+  // Full power cycle: every node crashes, then recovers from its log.
+  for (std::uint32_t i = 0; i < n; ++i) ctx.cluster.crash_node(NodeId(i));
+  std::uint32_t recovered = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ctx.cluster.reboot_node(NodeId(i), [&recovered] { ++recovered; });
+  }
+  const SimTime deadline = ctx.sim.now() + Duration::seconds(120);
+  while (recovered < n && ctx.sim.now() < deadline) {
+    ctx.sim.run_for(Duration::millis(100));
+  }
+  if (recovered < n) {
+    out.push_back({"durability",
+                   "only " + std::to_string(recovered) + "/" +
+                       std::to_string(n) + " nodes recovered from the logs"});
+    return;
+  }
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MetaStore& s = ctx.cluster.store(NodeId(i));
+    const StableSnapshot after{s.stable_inodes(), s.stable_dentries()};
+    if (!(after == before[i])) {
+      out.push_back(
+          {"durability",
+           NodeId(i).str() + " stable state changed across power cycle (" +
+               std::to_string(before[i].inodes.size()) + "/" +
+               std::to_string(before[i].dentries.size()) + " -> " +
+               std::to_string(after.inodes.size()) + "/" +
+               std::to_string(after.dentries.size()) + " inodes/dentries)"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CheckFailure> run_checkers(CheckContext& ctx) {
+  std::vector<CheckFailure> failures;
+  check_quiescence(ctx, failures);
+  check_invariants(ctx, failures);
+  check_serializability(ctx, failures);
+  check_fencing(ctx, failures);
+  // Power-cycles the cluster; keep last.
+  check_durability(ctx, failures);
+  return failures;
+}
+
+}  // namespace opc

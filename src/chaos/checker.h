@@ -1,0 +1,50 @@
+// Oracle battery run after every chaos schedule.
+//
+// A chaos run is only as good as its checkers: each completed simulation
+// (faults injected, healed, drained to quiescence) is handed to the full
+// battery, and any failure is recorded with the seed and schedule that
+// produced it so the shrinker can minimize it.
+//
+// Oracles, in check order:
+//   quiescence      — the cluster drained: no engine holds an active
+//                     coordination or participation, every node is back up.
+//   invariants      — namespace invariants over all stable state
+//                     (dentry/inode agreement, nlink counts, no orphans).
+//   serializability — the committed history is conflict-serializable.
+//   fencing         — no node ever read a *foreign* log partition without
+//                     fencing it first (the paper's §III-A STONITH rule;
+//                     an unfenced foreign read is the split-brain hazard).
+//   durability      — power-cycling the whole cluster and recovering from
+//                     the logs reproduces the exact stable state (replay
+//                     is exercised end-to-end, and must be idempotent).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace opc {
+
+struct CheckFailure {
+  std::string oracle;  // "quiescence", "invariants", ...
+  std::string detail;
+};
+
+[[nodiscard]] std::string render_failures(
+    const std::vector<CheckFailure>& failures);
+
+struct CheckContext {
+  Simulator& sim;
+  Cluster& cluster;
+  StatsRegistry& stats;
+  std::vector<ObjectId> roots;  // directory roots for the invariant walk
+  bool drained = false;         // did the runner's drain loop quiesce?
+};
+
+/// Runs the full battery; returns every failure (empty == all green).
+/// The durability oracle mutates the cluster (full power cycle) — run it
+/// last and do not reuse the cluster for measurements afterwards.
+[[nodiscard]] std::vector<CheckFailure> run_checkers(CheckContext& ctx);
+
+}  // namespace opc

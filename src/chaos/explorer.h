@@ -1,0 +1,68 @@
+// Property-based fault-schedule exploration.
+//
+// The explorer turns the deterministic simulator into a test *generator*:
+// instead of hand-writing crash scenarios, it derives many schedules —
+// seeded random walks over the fault vocabulary, plus systematic
+// crash-point enumeration keyed off the trace of a fault-free probe run
+// ("crash that worker right after its first forced WAL flush") — and runs
+// each one as an independent deterministic simulation through the sweep
+// runner's thread pool, applying the full checker battery to every run.
+//
+// Everything is a pure function of the master seed: the report (including
+// its combined hash) is byte-identical across re-runs, and any failure
+// carries the exact (config, schedule) pair needed to replay or shrink it.
+#pragma once
+
+#include "chaos/runner.h"
+#include "sim/rng.h"
+
+namespace opc {
+
+struct ExplorerConfig {
+  /// Template for every run; its `seed` is overridden per schedule.
+  ChaosRunConfig base;
+  std::uint32_t n_schedules = 100;  // random schedules to generate
+  std::uint64_t seed = 42;          // master seed for the whole exploration
+  std::uint32_t max_faults = 4;     // faults per random schedule (>= 1)
+  /// Also enumerate systematic crash points from a fault-free probe run.
+  bool systematic = false;
+  std::uint32_t max_systematic = 64;  // cap on enumerated crash points
+  unsigned threads = 0;               // 0 = hardware concurrency
+};
+
+struct ScheduleOutcome {
+  std::uint32_t index = 0;     // position in the exploration
+  std::uint64_t seed = 0;      // the run's workload/cluster seed
+  bool systematic = false;     // came from crash-point enumeration
+  FaultSchedule schedule;
+  ChaosRunResult result;
+};
+
+struct ExplorationReport {
+  std::vector<ScheduleOutcome> outcomes;  // in schedule order
+  std::uint32_t passed = 0;
+  std::uint32_t failed = 0;
+
+  /// FNV-1a over every run's trace hash, in order — one number that must
+  /// be identical across re-runs with the same master seed.
+  std::uint64_t combined_hash = 0;
+
+  [[nodiscard]] const ScheduleOutcome* first_failure() const;
+};
+
+/// Draws one random schedule from the full fault vocabulary.
+[[nodiscard]] FaultSchedule random_schedule(Rng& rng,
+                                            const ChaosRunConfig& base,
+                                            std::uint32_t max_faults);
+
+/// Enumerates single-crash trigger schedules from the trace of a
+/// fault-free probe run of `base`: one schedule per (node, occurrence)
+/// of the crash-worthy trace points (forced-write start/completion,
+/// message send) seen in the probe, capped at `limit`.
+[[nodiscard]] std::vector<FaultSchedule> enumerate_crash_points(
+    const ChaosRunConfig& base, std::uint32_t limit);
+
+/// Generates and runs the whole exploration.  Deterministic.
+[[nodiscard]] ExplorationReport explore(const ExplorerConfig& cfg);
+
+}  // namespace opc

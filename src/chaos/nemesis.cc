@@ -1,0 +1,311 @@
+#include "chaos/nemesis.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace opc {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kDiskDegrade: return "disk_degrade";
+    case FaultKind::kHeartbeatMute: return "heartbeat_mute";
+    case FaultKind::kMessageLoss: return "message_loss";
+    case FaultKind::kDelayJitter: return "delay_jitter";
+  }
+  return "?";
+}
+
+Duration FaultSchedule::horizon() const {
+  Duration h = Duration::zero();
+  for (const FaultEvent& e : events) {
+    Duration end = e.at + e.duration;
+    if (end > h) h = end;
+  }
+  for (const TraceTrigger& t : triggers) {
+    // Fire time is history-dependent; only the post-fire tail is knowable.
+    Duration tail = t.delay + t.reboot_after;
+    if (tail > h) h = tail;
+  }
+  return h;
+}
+
+namespace {
+
+bool parse_fault_kind(std::string_view s, FaultKind& out) {
+  for (int i = 0; i <= static_cast<int>(FaultKind::kDelayJitter); ++i) {
+    const auto k = static_cast<FaultKind>(i);
+    if (s == fault_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_trace_kind(std::string_view s, TraceKind& out) {
+  for (int i = 0; i <= static_cast<int>(TraceKind::kInfo); ++i) {
+    const auto k = static_cast<TraceKind>(i);
+    if (s == trace_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// "%.17g" round-trips every finite double exactly.
+std::string render_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Splits "key=value" tokens; returns false if any token lacks '='.
+bool split_kv(const std::string& line,
+              std::vector<std::pair<std::string, std::string>>& out) {
+  std::istringstream in(line);
+  std::string tok;
+  in >> tok;  // the already-checked "fault"/"trigger" tag
+  while (in >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == tok.size()) {
+      return false;  // "k=" with no value is malformed, not a zero
+    }
+    out.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string render_schedule(const FaultSchedule& s) {
+  std::string out;
+  char buf[64];
+  for (const FaultEvent& e : s.events) {
+    out += "fault kind=";
+    out += fault_kind_name(e.kind);
+    if (e.node != kNoNode) {
+      out += " node=" + std::to_string(e.node.value());
+    }
+    if (e.kind == FaultKind::kPartition) {
+      out += " peer=" + std::to_string(e.peer.value());
+      if (e.asymmetric) out += " asym=1";
+    }
+    std::snprintf(buf, sizeof(buf), " at_ns=%" PRId64 " dur_ns=%" PRId64,
+                  e.at.count_nanos(), e.duration.count_nanos());
+    out += buf;
+    if (e.magnitude != 0.0) out += " mag=" + render_double(e.magnitude);
+    out += '\n';
+  }
+  for (const TraceTrigger& t : s.triggers) {
+    out += "trigger on=";
+    out += trace_kind_name(t.on);
+    out += " actor=" + t.actor;
+    out += " n=" + std::to_string(t.occurrence);
+    out += " victim=" + std::to_string(t.victim.value());
+    std::snprintf(buf, sizeof(buf),
+                  " delay_ns=%" PRId64 " reboot_ns=%" PRId64,
+                  t.delay.count_nanos(), t.reboot_after.count_nanos());
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+bool parse_schedule_line(const std::string& line, FaultSchedule& out) {
+  std::istringstream probe(line);
+  std::string tag;
+  probe >> tag;
+  if (tag != "fault" && tag != "trigger") return false;
+
+  std::vector<std::pair<std::string, std::string>> kvs;
+  if (!split_kv(line, kvs)) return false;
+
+  auto as_i64 = [](const std::string& v, std::int64_t& dst) {
+    char* end = nullptr;
+    dst = std::strtoll(v.c_str(), &end, 10);
+    return end && *end == '\0';
+  };
+  auto as_u32 = [&](const std::string& v, std::uint32_t& dst) {
+    std::int64_t x = 0;
+    if (!as_i64(v, x) || x < 0 || x > UINT32_MAX) return false;
+    dst = static_cast<std::uint32_t>(x);
+    return true;
+  };
+
+  if (tag == "fault") {
+    FaultEvent e;
+    for (const auto& [k, v] : kvs) {
+      std::int64_t i = 0;
+      std::uint32_t u = 0;
+      if (k == "kind") {
+        if (!parse_fault_kind(v, e.kind)) return false;
+      } else if (k == "node") {
+        if (!as_u32(v, u)) return false;
+        e.node = NodeId(u);
+      } else if (k == "peer") {
+        if (!as_u32(v, u)) return false;
+        e.peer = NodeId(u);
+      } else if (k == "at_ns") {
+        if (!as_i64(v, i)) return false;
+        e.at = Duration::nanos(i);
+      } else if (k == "dur_ns") {
+        if (!as_i64(v, i)) return false;
+        e.duration = Duration::nanos(i);
+      } else if (k == "mag") {
+        char* end = nullptr;
+        e.magnitude = std::strtod(v.c_str(), &end);
+        if (!end || *end != '\0') return false;
+      } else if (k == "asym") {
+        e.asymmetric = (v == "1");
+      } else {
+        return false;
+      }
+    }
+    out.events.push_back(e);
+    return true;
+  }
+
+  TraceTrigger t;
+  for (const auto& [k, v] : kvs) {
+    std::int64_t i = 0;
+    std::uint32_t u = 0;
+    if (k == "on") {
+      if (!parse_trace_kind(v, t.on)) return false;
+    } else if (k == "actor") {
+      t.actor = v;
+    } else if (k == "n") {
+      if (!as_u32(v, t.occurrence)) return false;
+    } else if (k == "victim") {
+      if (!as_u32(v, u)) return false;
+      t.victim = NodeId(u);
+    } else if (k == "delay_ns") {
+      if (!as_i64(v, i)) return false;
+      t.delay = Duration::nanos(i);
+    } else if (k == "reboot_ns") {
+      if (!as_i64(v, i)) return false;
+      t.reboot_after = Duration::nanos(i);
+    } else {
+      return false;
+    }
+  }
+  out.triggers.push_back(std::move(t));
+  return true;
+}
+
+FaultSchedule parse_schedule(const std::string& text) {
+  FaultSchedule s;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    (void)parse_schedule_line(line, s);  // non-schedule lines are config
+  }
+  return s;
+}
+
+void Nemesis::install(const FaultSchedule& schedule) {
+  SIM_CHECK_MSG(!installed_, "Nemesis::install called twice");
+  installed_ = true;
+
+  const NetworkConfig& base = cluster_.config().net;
+  for (const FaultEvent& e : schedule.events) {
+    const Duration until = e.duration > Duration::zero()
+                               ? e.at + e.duration
+                               : Duration::zero();
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        cluster_.schedule_crash(e.node, e.at, e.duration);
+        break;
+      case FaultKind::kPartition:
+        cluster_.schedule_partition(e.node, e.peer, e.at, until,
+                                    e.asymmetric);
+        break;
+      case FaultKind::kDiskDegrade:
+        cluster_.schedule_disk_degrade(e.node, e.at, until, e.magnitude);
+        break;
+      case FaultKind::kHeartbeatMute:
+        cluster_.schedule_heartbeat_mute(e.node, e.at, until);
+        break;
+      case FaultKind::kMessageLoss: {
+        const double p = e.magnitude;
+        sim_.schedule_after(e.at, [this, p] {
+          trace_.record(sim_.now(), TraceKind::kInfo, "nemesis",
+                        "message loss p=" + render_double(p));
+          cluster_.network().set_loss_probability(p);
+        });
+        if (until > e.at) {
+          sim_.schedule_after(until, [this, base] {
+            trace_.record(sim_.now(), TraceKind::kInfo, "nemesis",
+                          "message loss restored");
+            cluster_.network().set_loss_probability(base.loss_probability);
+          });
+        }
+        break;
+      }
+      case FaultKind::kDelayJitter: {
+        const Duration j =
+            Duration::nanos(static_cast<std::int64_t>(e.magnitude * 1000.0));
+        sim_.schedule_after(e.at, [this, j] {
+          trace_.record(sim_.now(), TraceKind::kInfo, "nemesis",
+                        "delay jitter up to " +
+                            std::to_string(j.count_nanos()) + "ns");
+          cluster_.network().set_jitter_max(j);
+        });
+        if (until > e.at) {
+          sim_.schedule_after(until, [this, base] {
+            trace_.record(sim_.now(), TraceKind::kInfo, "nemesis",
+                          "delay jitter restored");
+            cluster_.network().set_jitter_max(base.jitter_max);
+          });
+        }
+        break;
+      }
+    }
+  }
+
+  if (!schedule.triggers.empty()) {
+    armed_.clear();
+    for (const TraceTrigger& t : schedule.triggers) {
+      armed_.push_back(Armed{t, 0, false});
+    }
+    observing_ = true;
+    trace_.set_observer(
+        [this](const TraceEvent& ev) { on_trace_event(ev); });
+  }
+}
+
+void Nemesis::on_trace_event(const TraceEvent& ev) {
+  for (Armed& a : armed_) {
+    if (a.fired || ev.kind != a.spec.on || ev.actor != a.spec.actor) continue;
+    if (++a.seen < a.spec.occurrence) continue;
+    a.fired = true;
+    ++fired_;
+    // Never mutate cluster state synchronously from inside trace recording
+    // (we may be deep in a disk or network completion); schedule_crash goes
+    // through the event queue, so even delay==0 fires after this event.
+    cluster_.schedule_crash(a.spec.victim, a.spec.delay, a.spec.reboot_after);
+  }
+}
+
+void Nemesis::disarm() {
+  if (!observing_) return;
+  observing_ = false;
+  trace_.set_observer(nullptr);
+}
+
+void Nemesis::heal() {
+  const NetworkConfig& base = cluster_.config().net;
+  cluster_.network().heal_all();
+  cluster_.network().set_loss_probability(base.loss_probability);
+  cluster_.network().set_jitter_max(base.jitter_max);
+  for (std::uint32_t i = 0; i < cluster_.size(); ++i) {
+    const NodeId id(i);
+    cluster_.storage().partition(id).device().set_degrade_factor(1.0);
+    cluster_.node(id).set_heartbeat_muted(false);
+  }
+}
+
+}  // namespace opc

@@ -1,0 +1,143 @@
+// Declarative fault schedules and the nemesis that injects them.
+//
+// A FaultSchedule is a small, serializable description of everything that
+// will go wrong during one simulated run: crash/reboot cycles, symmetric
+// and asymmetric network partitions, probabilistic message loss, delivery
+// jitter, log-device slowdowns and heartbeat suppression — plus *trace
+// triggers*, faults keyed off history points instead of wall-clock
+// instants ("crash the worker right after its first forced WAL flush").
+//
+// The Nemesis compiles a schedule down to the first-class injection hooks
+// the cluster/network/storage layers expose (Cluster::schedule_crash,
+// schedule_partition, schedule_disk_degrade, ...), so a schedule is data:
+// it can be generated randomly, enumerated systematically, shrunk by
+// delta-debugging and written to a repro file — the Jepsen-style workflow
+// the chaos explorer (src/chaos/explorer.h) implements at simulation
+// speed, with exact seed reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace opc {
+
+/// The fault vocabulary.  Values are stable (serialized in repro files).
+enum class FaultKind : std::uint8_t {
+  kCrash,          // power off `node`; reboot after `duration` (0 = stay down)
+  kPartition,      // sever node<->peer for `duration` (asymmetric: node->peer)
+  kDiskDegrade,    // multiply node's log-device service time by `magnitude`
+  kHeartbeatMute,  // node stays up but stops emitting heartbeats
+  kMessageLoss,    // drop each message with probability `magnitude`
+  kDelayJitter,    // add uniform extra delay up to `magnitude` microseconds
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+/// One timed fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  NodeId node;       // primary victim (ignored for loss/jitter)
+  NodeId peer;       // partition only: the other end
+  Duration at = Duration::zero();        // start, relative to run start
+  Duration duration = Duration::zero();  // window; 0 = until the run ends
+  double magnitude = 0.0;  // degrade factor | loss probability | jitter µs
+  bool asymmetric = false; // partition only: sever node->peer, leave reverse
+
+  [[nodiscard]] bool operator==(const FaultEvent&) const = default;
+};
+
+/// A crash keyed off the Nth occurrence of a trace event — the systematic
+/// crash-point probe ("right after mds1's second forced log write became
+/// durable").  Matching is exact on (kind, actor).
+struct TraceTrigger {
+  TraceKind on = TraceKind::kLogForceDone;
+  std::string actor;            // e.g. "log.mds1" (disk) or "mds0" (engine)
+  std::uint32_t occurrence = 1; // fire on the Nth match (1-based)
+  NodeId victim;
+  Duration delay = Duration::zero();         // extra delay after the match
+  Duration reboot_after = Duration::zero();  // 0 = stays down until drain
+
+  [[nodiscard]] bool operator==(const TraceTrigger&) const = default;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+  std::vector<TraceTrigger> triggers;
+
+  [[nodiscard]] std::size_t size() const {
+    return events.size() + triggers.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Latest instant at which a bounded fault window closes (crash reboots,
+  /// partition heals...).  The runner keeps the simulation going past this
+  /// before it starts draining, so no fault fires into the checked state.
+  [[nodiscard]] Duration horizon() const;
+
+  [[nodiscard]] bool operator==(const FaultSchedule&) const = default;
+};
+
+/// Serializes the schedule as "fault ..." / "trigger ..." lines (exact
+/// round trip, one item per line; see parse_schedule_line).
+[[nodiscard]] std::string render_schedule(const FaultSchedule& s);
+
+/// Parses one "fault ..." or "trigger ..." line into `out`.  Returns false
+/// (and leaves `out` untouched) on malformed input or any other line.
+[[nodiscard]] bool parse_schedule_line(const std::string& line,
+                                       FaultSchedule& out);
+
+/// Parses every fault/trigger line of a multi-line text; unknown lines are
+/// ignored (the repro file mixes config and schedule lines).
+[[nodiscard]] FaultSchedule parse_schedule(const std::string& text);
+
+/// Injects one FaultSchedule into one cluster.  Construct after the
+/// cluster, install() before the workload starts, disarm() when the
+/// measurement window closes (stops trigger matching), heal() before
+/// draining (undoes every standing effect so the cluster can quiesce).
+class Nemesis {
+ public:
+  Nemesis(Simulator& sim, Cluster& cluster, TraceRecorder& trace)
+      : sim_(sim), cluster_(cluster), trace_(trace) {}
+  ~Nemesis() { disarm(); }
+
+  Nemesis(const Nemesis&) = delete;
+  Nemesis& operator=(const Nemesis&) = delete;
+
+  /// Compiles the schedule onto the cluster's injection hooks and arms the
+  /// trace triggers.  Call at most once per Nemesis.
+  void install(const FaultSchedule& schedule);
+
+  /// Stops trigger matching; already-scheduled timed faults still fire.
+  void disarm();
+
+  /// Restores every *standing* effect this nemesis may have left behind:
+  /// heals all partitions, resets loss/jitter to the cluster's configured
+  /// baseline, restores disk speeds, unmutes heartbeats.  Crashed nodes are
+  /// NOT rebooted here — the runner's drain loop owns node lifecycle.
+  void heal();
+
+  /// Triggers that actually fired (for reporting).
+  [[nodiscard]] std::uint32_t triggers_fired() const { return fired_; }
+
+ private:
+  struct Armed {
+    TraceTrigger spec;
+    std::uint32_t seen = 0;
+    bool fired = false;
+  };
+
+  void on_trace_event(const TraceEvent& ev);
+
+  Simulator& sim_;
+  Cluster& cluster_;
+  TraceRecorder& trace_;
+  std::vector<Armed> armed_;
+  bool observing_ = false;
+  bool installed_ = false;
+  std::uint32_t fired_ = 0;
+};
+
+}  // namespace opc

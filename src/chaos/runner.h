@@ -1,0 +1,58 @@
+// One chaos run: cluster + mixed workload + one FaultSchedule + checkers.
+//
+// run_schedule() is a pure function of (ChaosRunConfig, FaultSchedule):
+// it builds a fresh deterministic simulation, injects the schedule through
+// the Nemesis, heals, drains, and hands the end state to the full checker
+// battery.  Equal inputs produce byte-identical ChaosRunResults (including
+// the trace hash), which is what makes exploration reports reproducible
+// and shrinking sound.
+//
+// A (config, schedule) pair round-trips through a textual *repro file*
+// (render_repro/parse_repro) so a failure found by the explorer can be
+// replayed exactly with `opc chaos --replay <file>`.
+#pragma once
+
+#include "chaos/checker.h"
+#include "chaos/nemesis.h"
+#include "workload/source.h"
+
+namespace opc {
+
+struct ChaosRunConfig {
+  ProtocolKind protocol = ProtocolKind::kOnePC;
+  std::uint32_t n_nodes = 3;
+  std::uint64_t seed = 1;
+  std::uint32_t concurrency = 6;
+  std::uint32_t n_dirs = 4;
+  Duration run_for = Duration::seconds(8);  // fault + workload window
+  /// TEST-ONLY: forwarded to AcpConfig::unsafe_skip_fencing, so the bug
+  /// the fencing oracle exists to catch can be demonstrated on demand.
+  bool unsafe_skip_fencing = false;
+
+  [[nodiscard]] bool operator==(const ChaosRunConfig&) const = default;
+};
+
+struct ChaosRunResult {
+  bool passed = false;
+  std::vector<CheckFailure> failures;
+  std::uint64_t trace_hash = 0;   // FNV-1a over the full trace
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t lost = 0;
+  std::uint32_t triggers_fired = 0;
+};
+
+/// Runs one schedule to completion and checks it.  Deterministic.
+[[nodiscard]] ChaosRunResult run_schedule(const ChaosRunConfig& cfg,
+                                          const FaultSchedule& schedule);
+
+/// Serializes config + schedule as a replayable repro file.
+[[nodiscard]] std::string render_repro(const ChaosRunConfig& cfg,
+                                       const FaultSchedule& schedule);
+
+/// Parses a repro file.  Returns false on a malformed config line; the
+/// schedule is whatever fault/trigger lines parsed.
+[[nodiscard]] bool parse_repro(const std::string& text, ChaosRunConfig& cfg,
+                               FaultSchedule& schedule);
+
+}  // namespace opc

@@ -1,0 +1,86 @@
+#include "chaos/shrinker.h"
+
+#include <algorithm>
+
+namespace opc {
+namespace {
+
+/// One schedule item: false = events[idx], true = triggers[idx].
+struct Item {
+  bool is_trigger = false;
+  std::size_t idx = 0;
+};
+
+FaultSchedule build(const FaultSchedule& orig, const std::vector<Item>& items) {
+  FaultSchedule s;
+  for (const Item& it : items) {
+    if (it.is_trigger) {
+      s.triggers.push_back(orig.triggers[it.idx]);
+    } else {
+      s.events.push_back(orig.events[it.idx]);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ChaosRunConfig& cfg, const FaultSchedule& failing) {
+  ShrinkResult out;
+
+  std::vector<Item> items;
+  for (std::size_t i = 0; i < failing.events.size(); ++i) {
+    items.push_back({false, i});
+  }
+  for (std::size_t i = 0; i < failing.triggers.size(); ++i) {
+    items.push_back({true, i});
+  }
+
+  auto test = [&](const std::vector<Item>& subset, ChaosRunResult& result) {
+    result = run_schedule(cfg, build(failing, subset));
+    ++out.runs;
+    return !result.passed;
+  };
+
+  ChaosRunResult current;
+  if (!test(items, current)) {
+    out.minimal = failing;
+    out.result = current;
+    return out;  // input does not fail — nothing to shrink
+  }
+  out.input_failed = true;
+
+  // ddmin: split into n chunks, try each complement; keep any complement
+  // that still fails, refine granularity otherwise.
+  std::size_t n = 2;
+  while (items.size() >= 2) {
+    const std::size_t chunk = (items.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0; start < items.size(); start += chunk) {
+      std::vector<Item> complement;
+      complement.reserve(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i < start || i >= start + chunk) complement.push_back(items[i]);
+      }
+      if (complement.empty()) continue;
+      ChaosRunResult result;
+      if (test(complement, result)) {
+        items = std::move(complement);
+        current = std::move(result);
+        n = std::max<std::size_t>(n - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= items.size()) break;  // 1-minimal: no single item removable
+      n = std::min(n * 2, items.size());
+    }
+  }
+
+  out.minimal = build(failing, items);
+  out.result = std::move(current);
+  return out;
+}
+
+}  // namespace opc

@@ -1,0 +1,29 @@
+// Delta-debugging minimization of failing fault schedules.
+//
+// A failure found by the explorer usually carries more faults than it
+// needs.  The shrinker runs ddmin (Zeller's delta debugging) over the
+// schedule's events and triggers: repeatedly re-run the *same* seed and
+// config with subsets of the schedule, keeping any subset that still
+// fails, until no single item can be removed.  Because every run is
+// deterministic, "still fails" is exact, not statistical — the result is
+// a 1-minimal repro, rendered as a replayable file for
+// `opc chaos --replay`.
+#pragma once
+
+#include "chaos/runner.h"
+
+namespace opc {
+
+struct ShrinkResult {
+  FaultSchedule minimal;
+  ChaosRunResult result;   // the minimal schedule's (failing) outcome
+  std::uint32_t runs = 0;  // simulations spent shrinking
+  bool input_failed = false;  // false: the input passed, nothing to shrink
+};
+
+/// Minimizes `failing` under the fixed `cfg`.  If the input schedule does
+/// not actually fail, returns it unchanged with input_failed=false.
+[[nodiscard]] ShrinkResult shrink(const ChaosRunConfig& cfg,
+                                  const FaultSchedule& failing);
+
+}  // namespace opc

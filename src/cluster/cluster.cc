@@ -63,6 +63,63 @@ void Cluster::schedule_crash(NodeId id, Duration after,
   });
 }
 
+void Cluster::schedule_reboot(NodeId id, Duration after) {
+  sim_.schedule_after(after, [this, id] { reboot_node(id); });
+}
+
+void Cluster::schedule_partition(NodeId a, NodeId b, Duration from,
+                                 Duration until, bool asymmetric) {
+  sim_.schedule_after(from, [this, a, b, asymmetric] {
+    trace_.record(sim_.now(), TraceKind::kInfo, a.str(),
+                  std::string(asymmetric ? "partition -> " : "partition <-> ") +
+                      b.str());
+    if (asymmetric) {
+      net_->sever(a, b);
+    } else {
+      net_->sever_pair(a, b);
+    }
+  });
+  if (until > from) {
+    sim_.schedule_after(until, [this, a, b] {
+      trace_.record(sim_.now(), TraceKind::kInfo, a.str(),
+                    "partition healed <-> " + b.str());
+      net_->heal_pair(a, b);
+    });
+  }
+}
+
+void Cluster::schedule_disk_degrade(NodeId id, Duration from, Duration until,
+                                    double factor) {
+  sim_.schedule_after(from, [this, id, factor] {
+    trace_.record(sim_.now(), TraceKind::kInfo, id.str(),
+                  "log device degraded x" + std::to_string(factor));
+    storage_->partition(id).device().set_degrade_factor(factor);
+  });
+  if (until > from) {
+    sim_.schedule_after(until, [this, id] {
+      trace_.record(sim_.now(), TraceKind::kInfo, id.str(),
+                    "log device restored");
+      storage_->partition(id).device().set_degrade_factor(1.0);
+    });
+  }
+}
+
+void Cluster::schedule_heartbeat_mute(NodeId id, Duration from,
+                                      Duration until) {
+  sim_.schedule_after(from, [this, id] {
+    trace_.record(sim_.now(), TraceKind::kInfo, id.str(),
+                  "heartbeats muted");
+    node(id).set_heartbeat_muted(true);
+  });
+  if (until > from) {
+    sim_.schedule_after(until, [this, id] {
+      trace_.record(sim_.now(), TraceKind::kInfo, id.str(),
+                    "heartbeats resumed");
+      node(id).set_heartbeat_muted(false);
+    });
+  }
+}
+
 std::vector<const MetaStore*> Cluster::stores() const {
   std::vector<const MetaStore*> out;
   out.reserve(nodes_.size());

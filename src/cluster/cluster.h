@@ -61,13 +61,29 @@ class Cluster {
   void bootstrap_directory(ObjectId dir, NodeId home);
 
   // --- Failure injection ---
+  // One-shot hooks plus first-class *scheduled* variants; the chaos
+  // nemesis (src/chaos) compiles declarative fault schedules down to
+  // these instead of ad-hoc lambdas.
   void crash_node(NodeId id);                  // no-op if already down
   void reboot_node(NodeId id,
                    std::function<void()> on_recovered = nullptr);
   void schedule_crash(NodeId id, Duration after,
                       Duration reboot_after = Duration::zero());
+  /// Powers the node back on at now+after (no-op if up or STONITH-held).
+  void schedule_reboot(NodeId id, Duration after);
   void partition_pair(NodeId a, NodeId b) { net_->sever_pair(a, b); }
   void heal_pair(NodeId a, NodeId b) { net_->heal_pair(a, b); }
+  /// Severs a<->b (or only a->b when `asymmetric`) during [from, until).
+  /// `until` <= `from` means the partition stays until healed explicitly.
+  void schedule_partition(NodeId a, NodeId b, Duration from, Duration until,
+                          bool asymmetric = false);
+  /// Multiplies node `id`'s log-device service times by `factor` during
+  /// [from, until) — a slow/failing spindle, not a crash.
+  void schedule_disk_degrade(NodeId id, Duration from, Duration until,
+                             double factor);
+  /// Suppresses node `id`'s outgoing heartbeats during [from, until): the
+  /// node stays up but peers falsely suspect it (split-brain exercise).
+  void schedule_heartbeat_mute(NodeId id, Duration from, Duration until);
 
   /// Stable-state snapshot of every MDS, for the invariant checker.
   [[nodiscard]] std::vector<const MetaStore*> stores() const;

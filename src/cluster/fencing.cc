@@ -5,6 +5,20 @@ namespace opc {
 void StonithController::fence_and_isolate(NodeId requester, NodeId target,
                                           std::function<void()> on_fenced) {
   SIM_CHECK(on_fenced != nullptr);
+  if (held(requester)) {
+    // Dueling-shotguns breaker.  The requester is itself mid-fence: if the
+    // arbiter honored both requests, two nodes recovering each other's
+    // transactions would keep power-cycling one another before either
+    // decision becomes durable — a deterministic livelock (the chaos
+    // explorer finds it with one slow disk plus one crash).  Refusing is
+    // safe: a held requester is guaranteed to be shot within fence_delay,
+    // and its post-reboot recovery retries the fence once it is no longer
+    // under fire.
+    stats_.add("fencing.refused");
+    trace_.record(sim_.now(), TraceKind::kFence, requester.str(),
+                  "STONITH " + target.str() + " refused: requester is fenced");
+    return;
+  }
   stats_.add("fencing.requests");
   trace_.record(sim_.now(), TraceKind::kFence, requester.str(),
                 "STONITH " + target.str());

@@ -107,13 +107,15 @@ void MdsNode::schedule_heartbeat() {
   const std::uint64_t epoch = life_epoch_;
   sim_.schedule_after(hb_cfg_.interval, [this, epoch] {
     if (epoch != life_epoch_ || !alive_) return;
-    for (NodeId p : peers_) {
-      Envelope env;
-      env.from = id_;
-      env.to = p;
-      env.kind = kHeartbeatKind;
-      env.size_bytes = 64;
-      net_.send(std::move(env));
+    if (!hb_muted_) {
+      for (NodeId p : peers_) {
+        Envelope env;
+        env.from = id_;
+        env.to = p;
+        env.kind = kHeartbeatKind;
+        env.size_bytes = 64;
+        net_.send(std::move(env));
+      }
     }
     schedule_heartbeat();
   });

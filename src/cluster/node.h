@@ -45,6 +45,13 @@ class MdsNode {
 
   [[nodiscard]] bool alive() const { return alive_; }
   [[nodiscard]] NodeId id() const { return id_; }
+
+  /// Chaos hook: while muted the node stays up and keeps serving, but
+  /// stops *emitting* heartbeats — peers falsely suspect it, which is
+  /// exactly the unreliable-failure-detection hazard (paper §III-A) that
+  /// forces 1PC recovery to fence before reading a foreign log.
+  void set_heartbeat_muted(bool muted) { hb_muted_ = muted; }
+  [[nodiscard]] bool heartbeat_muted() const { return hb_muted_; }
   [[nodiscard]] AcpEngine& engine() { return engine_; }
   [[nodiscard]] MetaStore& store() { return store_; }
   [[nodiscard]] const MetaStore& store() const { return store_; }
@@ -71,6 +78,7 @@ class MdsNode {
   AcpEngine engine_;
 
   bool alive_ = false;
+  bool hb_muted_ = false;
   std::uint64_t life_epoch_ = 0;  // invalidates timers across crash cycles
   std::unordered_map<NodeId, SimTime> last_heard_;
   std::unordered_map<NodeId, bool> suspected_;

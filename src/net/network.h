@@ -103,6 +103,14 @@ class Network {
 
   [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
 
+  // --- Runtime fault injection (chaos nemesis) ---
+  /// Changes the per-message loss probability from now on; draws stay on
+  /// this network's RNG stream, so runs remain seed-deterministic.
+  void set_loss_probability(double p) { cfg_.loss_probability = p; }
+  /// Changes the uniform extra-delay bound from now on.  FIFO per channel
+  /// is still enforced, so jitter reorders nothing within a link.
+  void set_jitter_max(Duration j) { cfg_.jitter_max = j; }
+
  private:
   static std::uint64_t key(NodeId a, NodeId b) {
     return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();

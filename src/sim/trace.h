@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -61,16 +62,26 @@ struct TraceEvent {
 /// the recorder disabled and only the timeline/debug benches enable it.
 class TraceRecorder {
  public:
+  /// Live observer of events as they are recorded.  The chaos nemesis uses
+  /// this to key fault injection off history points ("crash the worker
+  /// right after its first forced WAL flush").  Observers fire even when
+  /// storage is disabled; they must not re-enter the recorder.
+  using Observer = std::function<void(const TraceEvent&)>;
+
   explicit TraceRecorder(bool enabled = true) : enabled_(enabled) {}
 
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Installs (or with nullptr, removes) the single live observer.
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
   void record(SimTime at, TraceKind kind, std::string actor,
               std::string detail, std::uint64_t txn = 0) {
-    if (!enabled_) return;
-    events_.push_back(
-        TraceEvent{at, kind, std::move(actor), std::move(detail), txn});
+    if (!enabled_ && !observer_) return;
+    TraceEvent ev{at, kind, std::move(actor), std::move(detail), txn};
+    if (observer_) observer_(ev);
+    if (enabled_) events_.push_back(std::move(ev));
   }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
@@ -90,6 +101,7 @@ class TraceRecorder {
 
  private:
   std::vector<TraceEvent> events_;
+  Observer observer_;
   bool enabled_;
 };
 

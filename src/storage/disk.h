@@ -58,12 +58,26 @@ class Disk {
   /// Their completions never fire.
   void cancel_owner(NodeId owner);
 
-  /// Service time for a request of the given size under this configuration.
+  /// Service time for a request of the given size under this configuration,
+  /// including any active degradation.
   [[nodiscard]] Duration service_time(std::uint64_t size_bytes) const {
-    return cfg_.fixed_latency +
-           Duration::from_seconds_f(static_cast<double>(size_bytes) /
-                                    cfg_.bytes_per_second);
+    const Duration base =
+        cfg_.fixed_latency +
+        Duration::from_seconds_f(static_cast<double>(size_bytes) /
+                                 cfg_.bytes_per_second);
+    if (degrade_factor_ == 1.0) return base;
+    return Duration::from_seconds_f(base.to_seconds_f() * degrade_factor_);
   }
+
+  /// Chaos hook: multiplies service times by `factor` (>= 1 slows the
+  /// device down, e.g. a failing or contended spindle) until reset to 1.
+  /// Applies to requests *started* after the call; the in-service transfer
+  /// keeps its original completion time.
+  void set_degrade_factor(double factor) {
+    SIM_CHECK(factor > 0.0);
+    degrade_factor_ = factor;
+  }
+  [[nodiscard]] double degrade_factor() const { return degrade_factor_; }
 
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] bool busy() const { return in_service_; }
@@ -92,6 +106,7 @@ class Disk {
   StatsRegistry& stats_;
   TraceRecorder& trace_;
   std::deque<Request> queue_;
+  double degrade_factor_ = 1.0;
   bool in_service_ = false;
   std::uint64_t in_service_id_ = 0;
   NodeId in_service_owner_;

@@ -20,6 +20,15 @@ namespace opc {
 
 class HistoryRecorder {
  public:
+  struct Access {
+    TxnId txn;
+    ObjectId obj;
+    bool is_write;
+    SimTime at;
+    std::uint64_t seq;  // total order among same-instant accesses
+    std::uint32_t node;
+  };
+
   /// Records an object access.  `node` identifies the recording MDS so that
   /// drop_accesses() can void a node's pre-crash accesses (whose effects
   /// evaporated with its cache) without touching surviving ones.
@@ -41,6 +50,10 @@ class HistoryRecorder {
   }
 
   [[nodiscard]] std::size_t access_count() const { return accesses_.size(); }
+  /// Raw access log (debugging failing histories).
+  [[nodiscard]] const std::vector<Access>& accesses() const {
+    return accesses_;
+  }
   [[nodiscard]] const std::unordered_set<TxnId>& committed() const {
     return committed_;
   }
@@ -55,15 +68,6 @@ class HistoryRecorder {
   [[nodiscard]] std::vector<TxnId> serialization_order() const;
 
  private:
-  struct Access {
-    TxnId txn;
-    ObjectId obj;
-    bool is_write;
-    SimTime at;
-    std::uint64_t seq;  // total order among same-instant accesses
-    std::uint32_t node;
-  };
-
   std::vector<Access> accesses_;
   std::unordered_set<TxnId> committed_;
   std::unordered_set<TxnId> aborted_;

@@ -55,6 +55,7 @@ void LogWriter::submit(std::vector<PendingForce> batch) {
   stats_.add("wal.force.bytes", static_cast<std::int64_t>(bytes));
 
   force_in_flight_ = true;
+  ++outstanding_forces_;
   const std::uint64_t epoch = crash_epoch_;
   part_.device().write(
       owner_, bytes, std::move(label),
@@ -62,6 +63,7 @@ void LogWriter::submit(std::vector<PendingForce> batch) {
         // cancel_owner() suppresses this callback on crash/fence, but guard
         // against a crash+reboot cycle that raced the disk completion.
         if (epoch != crash_epoch_ || crashed_) return;
+        --outstanding_forces_;
         for (auto& pf : batch) {
           part_.append_durable(std::move(pf.recs));
         }
@@ -110,7 +112,17 @@ void LogWriter::schedule_lazy_flush() {
                            });
     } else {
       // Background flush modeled as free: the device would absorb these in
-      // idle gaps; see DESIGN.md §5 (asynchronous writes coalesce).
+      // idle gaps; see DESIGN.md §5 (asynchronous writes coalesce).  The
+      // device is only idle if no force is outstanding — flushing past a
+      // queued force would reorder the durable log (a real WAL appends in
+      // LSN order), so re-buffer and retry after the force completes.
+      if (outstanding_forces_ > 0) {
+        lazy_buf_.insert(lazy_buf_.begin(),
+                         std::make_move_iterator(recs.begin()),
+                         std::make_move_iterator(recs.end()));
+        schedule_lazy_flush();
+        return;
+      }
       part_.append_durable(std::move(recs));
     }
   });
@@ -123,6 +135,7 @@ void LogWriter::crash() {
   lazy_buf_.clear();
   coalesce_queue_.clear();
   force_in_flight_ = false;
+  outstanding_forces_ = 0;
   sim_.cancel(lazy_flush_timer_);
   lazy_flush_timer_ = EventHandle{};
 }

@@ -98,6 +98,7 @@ class LogWriter {
 
   bool crashed_ = false;
   bool force_in_flight_ = false;           // used only under group_commit
+  std::uint32_t outstanding_forces_ = 0;   // submitted, not yet durable
   std::vector<PendingForce> coalesce_queue_;
   std::vector<LogRecord> lazy_buf_;
   EventHandle lazy_flush_timer_;

@@ -108,7 +108,13 @@ void SharedStorage::read_partition(
     std::function<void(std::vector<LogRecord>)> on_done) {
   LogPartition& p = partition(target);
   stats_.add("storage.reads");
-  if (!p.fenced()) stats_.add("storage.reads.unfenced");
+  if (!p.fenced()) {
+    stats_.add("storage.reads.unfenced");
+    // A node scanning its OWN log (reboot recovery) is legitimate; an
+    // unfenced read of a *foreign* partition is the split-brain hazard the
+    // chaos checkers assert never happens.
+    if (reader != target) stats_.add("storage.reads.unfenced_foreign");
+  }
   // Scan cost: at least one device block even for an empty partition.
   const std::uint64_t bytes = std::max<std::uint64_t>(p.modeled_size(), 4096);
   p.device().read(reader, bytes, "scan." + reader.str(),

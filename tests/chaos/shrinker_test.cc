@@ -1,0 +1,111 @@
+// Delta-debugging convergence: a canned known-bad schedule (the fencing
+// oracle tripped by the test-only skip-fencing toggle, padded with decoy
+// faults) must shrink to a minimal repro that still fails, and that repro
+// must replay byte-identically.
+#include <gtest/gtest.h>
+
+#include "chaos/shrinker.h"
+
+namespace opc {
+namespace {
+
+/// The config the `opc chaos --bug` acceptance demo uses: 1PC, master seed
+/// 42, fencing deliberately skipped so unfenced foreign-log reads surface.
+ChaosRunConfig bug_cfg() {
+  ChaosRunConfig cfg;
+  cfg.protocol = ProtocolKind::kOnePC;
+  cfg.seed = 42;
+  cfg.unsafe_skip_fencing = true;
+  return cfg;
+}
+
+/// Known-bad: with fencing skipped, any fault that delays a worker's
+/// UPDATED past the response budget sends the coordinator into an unfenced
+/// foreign-log read.  Several of these three events can do that on their
+/// own — which is exactly what makes the schedule a shrinking exercise:
+/// ddmin must strip it down to a single event.
+FaultSchedule canned_known_bad() {
+  FaultSchedule s;
+
+  FaultEvent mute;
+  mute.kind = FaultKind::kHeartbeatMute;
+  mute.node = NodeId(0);
+  mute.at = Duration::millis(1200);
+  mute.duration = Duration::millis(400);
+  s.events.push_back(mute);
+
+  FaultEvent disk;
+  disk.kind = FaultKind::kDiskDegrade;
+  disk.node = NodeId(2);
+  disk.at = Duration::nanos(4794109050);
+  disk.duration = Duration::nanos(354149429);
+  disk.magnitude = 11.298411746962774;
+  s.events.push_back(disk);
+
+  FaultEvent jitter;
+  jitter.kind = FaultKind::kDelayJitter;
+  jitter.at = Duration::millis(6500);
+  jitter.duration = Duration::millis(800);
+  jitter.magnitude = 40.0;
+  s.events.push_back(jitter);
+
+  return s;
+}
+
+TEST(Shrinker, CannedKnownBadScheduleConvergesToMinimalRepro) {
+  const ChaosRunConfig cfg = bug_cfg();
+  const FaultSchedule bad = canned_known_bad();
+
+  const ChaosRunResult full = run_schedule(cfg, bad);
+  ASSERT_FALSE(full.passed) << "the canned schedule must trip the fencing "
+                               "oracle before shrinking means anything";
+
+  const ShrinkResult sr = shrink(cfg, bad);
+  EXPECT_TRUE(sr.input_failed);
+  EXPECT_FALSE(sr.result.passed);
+  EXPECT_GT(sr.runs, 0u);
+  // 1-minimal: a single surviving event (which one is ddmin's choice —
+  // more than one of the three can trip the oracle alone).
+  ASSERT_EQ(sr.minimal.size(), 1u);
+  ASSERT_EQ(sr.minimal.events.size(), 1u);
+  bool fencing_failure = false;
+  for (const CheckFailure& f : sr.result.failures) {
+    if (f.oracle == "fencing") fencing_failure = true;
+  }
+  EXPECT_TRUE(fencing_failure) << render_failures(sr.result.failures);
+}
+
+TEST(Shrinker, MinimalReproReplaysDeterministically) {
+  const ChaosRunConfig cfg = bug_cfg();
+  const ShrinkResult sr = shrink(cfg, canned_known_bad());
+  ASSERT_TRUE(sr.input_failed);
+
+  // The repro file round-trips, and replaying it twice is byte-identical.
+  ChaosRunConfig cfg_back;
+  FaultSchedule s_back;
+  ASSERT_TRUE(parse_repro(render_repro(cfg, sr.minimal), cfg_back, s_back));
+  EXPECT_EQ(cfg_back, cfg);
+  EXPECT_EQ(s_back, sr.minimal);
+
+  const ChaosRunResult a = run_schedule(cfg_back, s_back);
+  const ChaosRunResult b = run_schedule(cfg_back, s_back);
+  EXPECT_FALSE(a.passed);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.trace_hash, sr.result.trace_hash)
+      << "replaying the minimal schedule must reproduce the shrink's run";
+}
+
+TEST(Shrinker, PassingInputIsReturnedUnchanged) {
+  ChaosRunConfig cfg = bug_cfg();
+  cfg.unsafe_skip_fencing = false;  // fencing on: the schedule is harmless
+  const FaultSchedule s = canned_known_bad();
+  ASSERT_TRUE(run_schedule(cfg, s).passed);
+
+  const ShrinkResult sr = shrink(cfg, s);
+  EXPECT_FALSE(sr.input_failed);
+  EXPECT_EQ(sr.minimal, s);
+}
+
+}  // namespace
+}  // namespace opc

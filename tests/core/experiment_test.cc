@@ -54,6 +54,32 @@ TEST(Determinism, SameSeedSameHistory) {
   EXPECT_DOUBLE_EQ(a.ops_per_second, b.ops_per_second);
 }
 
+TEST(Determinism, EqualSeedsEqualTraceHashAcrossProtocols) {
+  // The property `opc storm --trace-hash` exposes for scripts: the history
+  // hash is a pure function of (config, seed) — equal for equal inputs.
+  // The create storm is a closed deterministic loop (the seed never enters
+  // it), so every protocol must hash identically across reruns; seed
+  // sensitivity is asserted on the mixed workload, whose generator is the
+  // one consumer of cluster.seed.
+  for (ProtocolKind p : kAllProtocols) {
+    ExperimentConfig cfg = paper_fig6_config(p);
+    cfg.run_for = Duration::seconds(3);
+    cfg.warmup = Duration::seconds(1);
+    cfg.trace = true;
+    const std::uint64_t first = run_create_storm(cfg).trace_hash;
+    EXPECT_EQ(run_create_storm(cfg).trace_hash, first) << protocol_name(p);
+  }
+  ExperimentConfig cfg = paper_fig6_config(ProtocolKind::kOnePC);
+  cfg.run_for = Duration::seconds(3);
+  cfg.warmup = Duration::seconds(1);
+  cfg.trace = true;
+  const std::uint64_t first = run_mixed(cfg, MixedSource::Mix{}, 4).trace_hash;
+  EXPECT_EQ(run_mixed(cfg, MixedSource::Mix{}, 4).trace_hash, first);
+  cfg.cluster.seed += 1;
+  EXPECT_NE(run_mixed(cfg, MixedSource::Mix{}, 4).trace_hash, first)
+      << "a different seed must change the mixed-workload history";
+}
+
 TEST(Determinism, ParallelSweepMatchesSequential) {
   std::vector<ProtocolKind> protos = {ProtocolKind::kPrN, ProtocolKind::kPrC,
                                       ProtocolKind::kEP, ProtocolKind::kOnePC};

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "chaos/explorer.h"
+#include "chaos/shrinker.h"
 #include "core/experiment.h"
 #include "core/sweep.h"
 #include "core/timeline.h"
@@ -150,11 +152,21 @@ int cmd_storm(const Args& a, bool batch_mode) {
   const auto batch = static_cast<std::uint32_t>(a.num("batch", 1));
   const auto results = ParallelSweep::map<ProtocolKind, ExperimentResult>(
       protos, [&](const ProtocolKind& p) {
-        const ExperimentConfig cfg = config_from_args(a, p);
+        ExperimentConfig cfg = config_from_args(a, p);
+        if (a.flag("trace-hash")) cfg.trace = true;
         return batch_mode ? run_batched_storm(cfg, batch)
                           : run_create_storm(cfg);
       });
   print_results(protos, results, a.flag("csv"));
+  if (a.flag("trace-hash")) {
+    // The run's full-history FNV hash: equal seeds must print equal hashes
+    // (the determinism contract tests/core asserts).
+    for (std::size_t i = 0; i < protos.size(); ++i) {
+      std::printf("trace_hash %s 0x%016llx\n",
+                  std::string(protocol_name(protos[i])).c_str(),
+                  static_cast<unsigned long long>(results[i].trace_hash));
+    }
+  }
   for (const auto& r : results) {
     if (r.invariant_violations != 0) return 1;
   }
@@ -241,6 +253,128 @@ int cmd_sweep(const Args& a) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// opc chaos — fault-schedule exploration, replay and shrinking.
+// ---------------------------------------------------------------------------
+
+std::string describe_schedule(const FaultSchedule& s) {
+  std::string text = render_schedule(s);
+  if (text.empty()) text = "(no faults)\n";
+  return text;
+}
+
+int chaos_replay(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open repro file '%s'\n", path.c_str());
+    return 2;
+  }
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  ChaosRunConfig cfg;
+  FaultSchedule schedule;
+  if (!parse_repro(text, cfg, schedule)) {
+    std::fprintf(stderr, "malformed repro file '%s'\n", path.c_str());
+    return 2;
+  }
+  std::printf("replaying %s: proto=%s nodes=%u seed=%llu, %zu fault(s), "
+              "%zu trigger(s)\n",
+              path.c_str(), std::string(protocol_name(cfg.protocol)).c_str(),
+              cfg.n_nodes, static_cast<unsigned long long>(cfg.seed),
+              schedule.events.size(), schedule.triggers.size());
+  const ChaosRunResult r = run_schedule(cfg, schedule);
+  std::printf("trace_hash 0x%016llx  committed %llu  aborted %llu\n",
+              static_cast<unsigned long long>(r.trace_hash),
+              static_cast<unsigned long long>(r.committed),
+              static_cast<unsigned long long>(r.aborted));
+  if (r.passed) {
+    std::printf("all checkers green — failure did NOT reproduce\n");
+    return 0;
+  }
+  std::printf("failure reproduced:\n%s",
+              render_failures(r.failures).c_str());
+  return 1;
+}
+
+int cmd_chaos(const Args& a) {
+  const std::string replay = a.str("replay", "");
+  if (!replay.empty()) return chaos_replay(replay);
+
+  std::vector<ProtocolKind> protos;
+  // Accept both --protocol and --proto; a single protocol per exploration.
+  if (!parse_protocols(a.str("protocol", a.str("proto", "1pc")), protos) ||
+      protos.size() != 1) {
+    std::fprintf(stderr, "chaos needs one --protocol (prn|prc|ep|1pc|pra)\n");
+    return 2;
+  }
+
+  ExplorerConfig cfg;
+  cfg.base.protocol = protos[0];
+  cfg.base.n_nodes = static_cast<std::uint32_t>(a.num("nodes", 3));
+  cfg.base.concurrency = static_cast<std::uint32_t>(a.num("concurrency", 6));
+  cfg.base.n_dirs = static_cast<std::uint32_t>(a.num("dirs", 4));
+  cfg.base.run_for = Duration::seconds(a.num("seconds", 8));
+  cfg.base.unsafe_skip_fencing = a.flag("bug");
+  cfg.n_schedules = static_cast<std::uint32_t>(a.num("schedules", 100));
+  cfg.seed = static_cast<std::uint64_t>(a.num("seed", 42));
+  cfg.max_faults = static_cast<std::uint32_t>(a.num("max-faults", 4));
+  cfg.systematic = a.flag("systematic");
+  cfg.max_systematic = static_cast<std::uint32_t>(a.num("max-systematic", 64));
+  cfg.threads = static_cast<unsigned>(a.num("threads", 0));
+
+  std::printf("exploring %u random schedule(s)%s, proto %s, master seed "
+              "%llu%s\n",
+              cfg.n_schedules,
+              cfg.systematic ? " + systematic crash points" : "",
+              std::string(protocol_name(cfg.base.protocol)).c_str(),
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.base.unsafe_skip_fencing
+                  ? " [BUG INJECTED: fencing skipped]"
+                  : "");
+  const ExplorationReport report = explore(cfg);
+  std::printf("schedules %zu  passed %u  failed %u  combined_hash 0x%016llx\n",
+              report.outcomes.size(), report.passed, report.failed,
+              static_cast<unsigned long long>(report.combined_hash));
+  if (report.failed == 0) {
+    std::printf("all checkers green\n");
+    return 0;
+  }
+
+  const ScheduleOutcome* fail = report.first_failure();
+  std::printf("\nfirst failure: schedule #%u (seed %llu%s)\n%s%s",
+              fail->index, static_cast<unsigned long long>(fail->seed),
+              fail->systematic ? ", systematic" : "",
+              describe_schedule(fail->schedule).c_str(),
+              render_failures(fail->result.failures).c_str());
+
+  ChaosRunConfig rcfg = cfg.base;
+  rcfg.seed = fail->seed;
+  std::printf("\nshrinking...\n");
+  const ShrinkResult shrunk = shrink(rcfg, fail->schedule);
+  std::printf("minimal repro after %u run(s): %zu of %zu item(s)\n%s%s",
+              shrunk.runs, shrunk.minimal.size(), fail->schedule.size(),
+              describe_schedule(shrunk.minimal).c_str(),
+              render_failures(shrunk.result.failures).c_str());
+
+  const std::string out_path = a.str("out", "chaos.repro");
+  const std::string repro = render_repro(rcfg, shrunk.minimal);
+  if (FILE* f = std::fopen(out_path.c_str(), "wb"); f != nullptr) {
+    std::fwrite(repro.data(), 1, repro.size(), f);
+    std::fclose(f);
+    std::printf("\nrepro written to %s — replay with: opc chaos --replay "
+                "%s\n",
+                out_path.c_str(), out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write repro file '%s'\n", out_path.c_str());
+  }
+  return 1;
+}
+
 int cmd_timeline(const Args& a) {
   std::vector<ProtocolKind> protos;
   if (!parse_protocols(a.str("proto", "all"), protos)) return 2;
@@ -287,6 +421,7 @@ int cmd_help() {
       "  batch     storm with aggregated transactions (--batch N)\n"
       "  mixed     mixed CREATE/DELETE/RENAME over a hash-partitioned tree\n"
       "  sweep     parameter sweep (--param X --values a,b,c)\n"
+      "  chaos     property-based fault-schedule exploration\n"
       "  timeline  message/log-write chart of one CREATE (Figs. 2-5)\n"
       "  table1    per-protocol cost counters (Table I, + PrA extension)\n"
       "  help      this text\n"
@@ -303,7 +438,19 @@ int cmd_help() {
       "  --group-commit     coalesce concurrent log forces\n"
       "  --crash-period-ms 0  inject worker crashes on a period\n"
       "  --batch 1          creates per transaction (batch subcommand)\n"
-      "  --csv              machine-readable output\n");
+      "  --trace-hash       print the run's history hash (storm)\n"
+      "  --csv              machine-readable output\n"
+      "\n"
+      "chaos flags (with defaults):\n"
+      "  --protocol 1pc     one protocol per exploration\n"
+      "  --schedules 100    random fault schedules to explore\n"
+      "  --seed 42          master seed (equal seeds => identical output)\n"
+      "  --max-faults 4     faults per random schedule\n"
+      "  --systematic       also enumerate trace-keyed crash points\n"
+      "  --seconds 8        workload window per schedule\n"
+      "  --bug              inject the skip-fencing bug (oracle demo)\n"
+      "  --out chaos.repro  minimal-repro output file on failure\n"
+      "  --replay FILE      re-run one repro file deterministically\n");
   return 0;
 }
 
@@ -318,6 +465,7 @@ int main(int argc, char** argv) {
   if (cmd == "batch") return cmd_storm(args, /*batch_mode=*/true);
   if (cmd == "mixed") return cmd_mixed(args);
   if (cmd == "sweep") return cmd_sweep(args);
+  if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "timeline") return cmd_timeline(args);
   if (cmd == "table1") return cmd_table1();
   return cmd_help();
