@@ -12,10 +12,12 @@
 
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "smoke.h"
 #include "stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opc;
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   const std::uint32_t batches[] = {1, 2, 4, 8, 16, 32, 64};
   struct Cell {
     std::uint32_t batch;
@@ -26,11 +28,14 @@ int main() {
     cells.push_back({b, ProtocolKind::kPrN});
     cells.push_back({b, ProtocolKind::kOnePC});
   }
+  // Keep one PrN/1PC pair: the row loop below walks cells two at a time.
+  if (smoke) benchutil::smoke_truncate(cells, 2);
   const auto results = ParallelSweep::map<Cell, ExperimentResult>(
-      cells, [](const Cell& c) {
+      cells, [smoke](const Cell& c) {
         ExperimentConfig cfg = paper_fig6_config(c.proto);
         cfg.run_for = Duration::seconds(20);
         cfg.warmup = Duration::seconds(4);
+        if (smoke) benchutil::smoke_window(cfg);
         return run_batched_storm(cfg, c.batch);
       });
 

@@ -5,9 +5,11 @@
 // verifies the plateau and that 1PC's advantage is already present at
 // concurrency 1 (it is a latency win, not a parallelism win).
 #include "ablation_common.h"
+#include "smoke.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opc;
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   std::vector<benchutil::SweepPoint> points;
   for (std::uint32_t conc : {1u, 2u, 4u, 16u, 64u, 100u, 256u, 512u}) {
     benchutil::SweepPoint p;
@@ -16,8 +18,10 @@ int main() {
     p.cfg.source.concurrency = conc;
     p.cfg.run_for = Duration::seconds(20);
     p.cfg.warmup = Duration::seconds(4);
+    if (smoke) benchutil::smoke_window(p.cfg);
     points.push_back(std::move(p));
   }
+  if (smoke) benchutil::smoke_truncate(points, 1);
   return benchutil::run_protocol_sweep(
       "Ablation C: throughput vs concurrent clients on one directory "
       "(paper uses 100)",

@@ -6,9 +6,11 @@
 // protocol's write cost; once the network round trip rivals the write
 // time, the gap narrows — the sweep shows where.
 #include "ablation_common.h"
+#include "smoke.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opc;
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   struct Bw {
     double bytes_per_second;
     const char* label;
@@ -26,8 +28,10 @@ int main() {
     p.cfg.cluster.disk.bytes_per_second = bw.bytes_per_second;
     p.cfg.run_for = Duration::seconds(20);
     p.cfg.warmup = Duration::seconds(4);
+    if (smoke) benchutil::smoke_window(p.cfg);
     points.push_back(std::move(p));
   }
+  if (smoke) benchutil::smoke_truncate(points, 1);
   return benchutil::run_protocol_sweep(
       "Ablation B: throughput vs log-device bandwidth "
       "(Fig. 6 workload otherwise)",

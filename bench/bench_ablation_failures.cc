@@ -9,20 +9,27 @@
 
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "smoke.h"
 #include "stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opc;
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   struct Point {
     Duration period;
     std::string label;
   };
-  const std::vector<Point> points = {
+  std::vector<Point> points = {
       {Duration::zero(), "no failures"},
       {Duration::seconds(5), "worker crash every 5s"},
       {Duration::seconds(2), "worker crash every 2s"},
       {Duration::seconds(1), "worker crash every 1s"},
   };
+  // Smoke keeps one crashing point so the fencing path still executes; the
+  // window stays a few seconds so a 1s crash period + 500ms repair fits.
+  if (smoke) {
+    points = {{Duration::seconds(1), "worker crash every 1s (smoke)"}};
+  }
   struct Cell {
     std::size_t point;
     ProtocolKind proto;
@@ -34,8 +41,8 @@ int main() {
   const auto results = ParallelSweep::map<Cell, ExperimentResult>(
       cells, [&](const Cell& c) {
         ExperimentConfig cfg = paper_fig6_config(c.proto);
-        cfg.run_for = Duration::seconds(20);
-        cfg.warmup = Duration::seconds(4);
+        cfg.run_for = smoke ? Duration::seconds(3) : Duration::seconds(20);
+        cfg.warmup = smoke ? Duration::millis(500) : Duration::seconds(4);
         cfg.crash_period = points[c.point].period;
         cfg.crash_worker = true;
         cfg.crash_coordinator = false;

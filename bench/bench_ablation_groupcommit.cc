@@ -17,10 +17,12 @@
 
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "smoke.h"
 #include "stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opc;
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   struct Cell {
     ProtocolKind proto;
     std::uint32_t dirs;
@@ -33,11 +35,14 @@ int main() {
       cells.push_back({p, dirs, true});
     }
   }
+  // Keep one off/on pair: the row loop below walks cells two at a time.
+  if (smoke) benchutil::smoke_truncate(cells, 2);
   const auto results = ParallelSweep::map<Cell, ExperimentResult>(
-      cells, [](const Cell& c) {
+      cells, [smoke](const Cell& c) {
         ExperimentConfig cfg = paper_fig6_config(c.proto);
         cfg.run_for = Duration::seconds(20);
         cfg.warmup = Duration::seconds(4);
+        if (smoke) benchutil::smoke_window(cfg);
         cfg.n_directories = c.dirs;
         cfg.cluster.wal.group_commit = c.group_commit;
         return run_create_storm(cfg);

@@ -5,9 +5,11 @@
 // approaches the forced-write cost, the message savings of EP and 1PC
 // become visible in the throughput gap — this sweep locates that crossover.
 #include "ablation_common.h"
+#include "smoke.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opc;
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   std::vector<benchutil::SweepPoint> points;
   for (std::int64_t us : {10LL, 100LL, 1000LL, 5000LL, 20000LL}) {
     benchutil::SweepPoint p;
@@ -16,8 +18,10 @@ int main() {
     p.cfg.cluster.net.latency = Duration::micros(us);
     p.cfg.run_for = Duration::seconds(20);
     p.cfg.warmup = Duration::seconds(4);
+    if (smoke) benchutil::smoke_window(p.cfg);
     points.push_back(std::move(p));
   }
+  if (smoke) benchutil::smoke_truncate(points, 1);
   return benchutil::run_protocol_sweep(
       "Ablation A: throughput vs one-way network latency "
       "(Fig. 6 workload otherwise)",

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/sweep.h"
+#include "smoke.h"
 #include "mds/namespace.h"
 #include "stats/table.h"
 #include "workload/source.h"
@@ -23,7 +24,7 @@ struct Point {
   bool overload = false;
 };
 
-Point measure(ProtocolKind proto, double rate) {
+Point measure(ProtocolKind proto, double rate, bool smoke) {
   Simulator sim;
   StatsRegistry stats;
   TraceRecorder trace(false);
@@ -40,15 +41,17 @@ Point measure(ProtocolKind proto, double rate) {
   NamespacePlanner planner(part, OpCosts{});
 
   ThroughputMeter meter;
-  const Duration warmup = Duration::seconds(10);
-  const Duration run = Duration::seconds(60);
+  const Duration warmup = smoke ? Duration::millis(500) : Duration::seconds(10);
+  const Duration run = smoke ? Duration::seconds(3) : Duration::seconds(60);
   meter.set_warmup_until(SimTime::zero() + warmup);
   meter.set_cutoff(SimTime::zero() + run);
 
   OpenLoopCreateSource source(sim, cluster, rate, meter, stats, planner, ids,
                               dir, /*seed=*/7);
   source.start(SimTime::zero() + run);
-  sim.run_until(SimTime::zero() + run + Duration::seconds(60));
+  // Drain: give in-flight operations one more latency budget to finish.
+  sim.run_until(SimTime::zero() + run +
+                (smoke ? Duration::seconds(5) : Duration::seconds(60)));
 
   Point p;
   p.achieved = meter.events_per_second_over(run - warmup);
@@ -61,10 +64,12 @@ Point measure(ProtocolKind proto, double rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   std::printf("=== Ablation H: latency vs offered load (open-loop Poisson "
               "arrivals, one hot directory) ===\n\n");
-  const double rates[] = {4, 8, 12, 15, 18, 22, 24};
+  std::vector<double> rates = {4, 8, 12, 15, 18, 22, 24};
+  if (smoke) rates = {4};
   struct Cell {
     ProtocolKind proto;
     double rate;
@@ -74,13 +79,14 @@ int main() {
     for (double r : rates) cells.push_back({p, r});
   }
   const auto results = ParallelSweep::map<Cell, Point>(
-      cells, [](const Cell& c) { return measure(c.proto, c.rate); });
+      cells,
+      [smoke](const Cell& c) { return measure(c.proto, c.rate, smoke); });
 
   TextTable table({"offered ops/s", "PrN p50", "PrN p99", "PrN state",
                    "1PC p50", "1PC p99", "1PC state"});
-  for (std::size_t i = 0; i < std::size(rates); ++i) {
+  for (std::size_t i = 0; i < rates.size(); ++i) {
     const Point& prn = results[i];
-    const Point& onepc = results[std::size(rates) + i];
+    const Point& onepc = results[rates.size() + i];
     auto fmt = [](const Point& p) {
       return p.overload ? std::string("OVERLOAD")
                         : TextTable::num(p.p50_ms, 0) + " ms";

@@ -12,6 +12,7 @@
 #include "cluster/cluster.h"
 #include "core/sweep.h"
 #include "mds/namespace.h"
+#include "smoke.h"
 #include "stats/table.h"
 
 namespace {
@@ -109,7 +110,8 @@ Outcome measure(ProtocolKind proto, std::uint32_t inflight) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::smoke_mode(argc, argv);
   std::printf("=== Ablation G: coordinator recovery time vs in-flight "
               "transactions ===\n");
   std::printf("(N transactions logged under a partition, coordinator crashed, rebooted 200ms later; recovery time "
@@ -123,6 +125,9 @@ int main() {
   for (ProtocolKind p : kAllProtocols) {
     for (std::uint32_t n : {1u, 10u, 50u, 100u}) cells.push_back({p, n});
   }
+  // Smoke: one PrN cell with a single in-flight transaction — the prime,
+  // crash, reboot, and scan paths all still execute.
+  if (smoke) benchutil::smoke_truncate(cells, 1);
   const auto results = ParallelSweep::map<Cell, Outcome>(
       cells, [](const Cell& c) { return measure(c.proto, c.inflight); });
 

@@ -7,10 +7,16 @@
 
 #include "cluster/cluster.h"
 #include "mds/namespace.h"
+#include "smoke.h"
 #include "stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace opc;
+  // Smoke keeps the same machinery (4 servers, hybrid protocol selection)
+  // over a smaller tree.
+  const bool smoke = benchutil::smoke_mode(argc, argv);
+  const int n_dirs = smoke ? 2 : 6;
+  const int n_files = smoke ? 2 : 8;
   Simulator sim;
   StatsRegistry stats;
   TraceRecorder trace(false);
@@ -36,12 +42,12 @@ int main() {
     });
     sim.run();
   };
-  for (int d = 0; d < 6; ++d) {
+  for (int d = 0; d < n_dirs; ++d) {
     const ObjectId dir = ids.next();
     dirs.push_back(dir);
     submit(planner.plan_create(root, "dir" + std::to_string(d), dir,
                                /*is_dir=*/true, static_cast<std::uint64_t>(d)));
-    for (int f = 0; f < 8; ++f) {
+    for (int f = 0; f < n_files; ++f) {
       submit(planner.plan_create(dir, "file" + std::to_string(f), ids.next(),
                                  false,
                                  static_cast<std::uint64_t>(d * 100 + f)));
@@ -76,5 +82,9 @@ int main() {
   const auto violations = cluster.check_invariants({root});
   std::printf("namespace invariants: %s\n",
               violations.empty() ? "clean" : render_violations(violations).c_str());
-  return violations.empty() && committed == 6 + 6 * 8 ? 0 : 1;
+  return violations.empty() &&
+                 committed == static_cast<std::uint64_t>(n_dirs +
+                                                         n_dirs * n_files)
+             ? 0
+             : 1;
 }

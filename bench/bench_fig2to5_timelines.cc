@@ -4,8 +4,12 @@
 #include <cstdio>
 
 #include "core/timeline.h"
+#include "smoke.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Smoke renders one timeline (1PC, the paper's contribution) instead of
+  // all four.
+  const bool smoke = opc::benchutil::smoke_mode(argc, argv);
   struct Fig {
     opc::ProtocolKind proto;
     const char* caption;
@@ -25,6 +29,7 @@ int main() {
        "the coordinator commits off the critical path"},
   };
   for (const Fig& f : figs) {
+    if (smoke && f.proto != opc::ProtocolKind::kOnePC) continue;
     const opc::TimelineResult r = opc::run_single_create(f.proto);
     std::printf("=== %s ===\n", f.caption);
     std::printf("client latency: %s   protocol fully finished: %s\n\n",

@@ -8,6 +8,7 @@
 
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "smoke.h"
 #include "stats/table.h"
 
 namespace {
@@ -27,7 +28,8 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = opc::benchutil::smoke_mode(argc, argv);
   std::printf("=== Figure 6: distributed namespace operations per second ===\n");
   std::printf("workload: 100 concurrent distributed CREATEs, one hot "
               "directory, every create spans two MDSs\n");
@@ -37,8 +39,10 @@ int main() {
   std::vector<PaperRow> rows(std::begin(kPaper), std::end(kPaper));
   const auto results =
       opc::ParallelSweep::map<PaperRow, opc::ExperimentResult>(
-          rows, [](const PaperRow& row) {
-            return opc::run_create_storm(opc::paper_fig6_config(row.proto));
+          rows, [smoke](const PaperRow& row) {
+            opc::ExperimentConfig cfg = opc::paper_fig6_config(row.proto);
+            if (smoke) opc::benchutil::smoke_window(cfg);
+            return opc::run_create_storm(cfg);
           });
 
   const double prn = results[0].ops_per_second;

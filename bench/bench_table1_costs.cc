@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "core/timeline.h"
+#include "smoke.h"
 #include "stats/table.h"
 
 namespace {
@@ -27,7 +28,10 @@ std::string pair_str(int a, int b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Each row is already a single instrumented create, and trimming rows
+  // would weaken the paper-exactness check — smoke is accepted as a no-op.
+  (void)opc::benchutil::smoke_mode(argc, argv);
   std::printf("=== Table I: protocol costs for one distributed namespace "
               "operation ===\n");
   std::printf("(messages counted beyond the base UPDATE_REQ/UPDATED pair, "

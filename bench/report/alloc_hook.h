@@ -1,0 +1,20 @@
+// Process-wide heap-allocation counter for the benchmark report runner.
+//
+// Linking the opc_bench_report library replaces the global operator
+// new/delete family with thin forwarding shims around malloc/free that bump
+// an atomic counter.  The kernel report uses the delta across a timed
+// region to compute allocations/event — the number the inline-callback
+// fast path is supposed to hold at zero.
+//
+// The shims add one relaxed atomic increment per allocation; they are
+// counting instrumentation, not an allocator.
+#pragma once
+
+#include <cstdint>
+
+namespace opc::benchreport {
+
+/// Total allocations (operator new family) since process start.
+[[nodiscard]] std::uint64_t allocation_count();
+
+}  // namespace opc::benchreport

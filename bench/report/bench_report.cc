@@ -1,0 +1,178 @@
+#include "report/bench_report.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "cluster/cluster.h"
+#include "mds/namespace.h"
+#include "report/alloc_hook.h"
+#include "sim/simulator.h"
+#include "stats/table.h"
+#include "workload/source.h"
+
+namespace opc::benchreport {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One measured region: runs `body` (which returns the number of kernel
+/// events it dispatched) repeatedly until ~0.4 s of wall clock accumulates,
+/// then reports the aggregate rates.  Smoke mode runs the body exactly once
+/// — the point is executing the code path, not a stable number.
+BenchSample measure(const std::string& name, bool smoke,
+                    const std::function<std::uint64_t()>& body) {
+  BenchSample s;
+  s.name = name;
+  const double min_wall = smoke ? 0.0 : 0.4;
+  // Untimed warm-up pass: first-touch page faults and lazy init land here.
+  if (!smoke) body();
+  const std::uint64_t allocs0 = allocation_count();
+  const Clock::time_point t0 = Clock::now();
+  double elapsed = 0;
+  do {
+    s.events += body();
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < min_wall);
+  const std::uint64_t allocs = allocation_count() - allocs0;
+  s.wall_seconds = elapsed;
+  if (s.events > 0 && elapsed > 0) {
+    s.events_per_sec = static_cast<double>(s.events) / elapsed;
+    s.ns_per_event = elapsed * 1e9 / static_cast<double>(s.events);
+    s.allocs_per_event =
+        static_cast<double>(allocs) / static_cast<double>(s.events);
+  }
+  return s;
+}
+
+/// The dominant cycle in isolation: schedule N small-capture callbacks,
+/// drain the queue.  Mirrors BM_EventScheduleDispatch/16384.
+std::uint64_t schedule_dispatch_pass(int batch) {
+  Simulator sim;
+  std::uint64_t sink = 0;
+  for (int i = 0; i < batch; ++i) {
+    sim.schedule_after(Duration::nanos(i % 977), [&sink] { ++sink; });
+  }
+  sim.run();
+  SIM_CHECK(sink == static_cast<std::uint64_t>(batch));
+  return sim.dispatched_events();
+}
+
+/// Timer churn: every event is scheduled, cancelled and rescheduled —
+/// the timeout-bookkeeping pattern of src/acp and src/wal.
+std::uint64_t cancel_churn_pass(int batch) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  handles.reserve(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    handles.push_back(sim.schedule_after(Duration::micros(1), [] {}));
+  }
+  for (EventHandle& h : handles) sim.cancel(h);
+  for (int i = 0; i < batch; ++i) {
+    sim.schedule_after(Duration::micros(2), [] {});
+  }
+  sim.run();
+  return static_cast<std::uint64_t>(batch) * 2;  // cancel + dispatch ops
+}
+
+/// Fixed-seed Figure-6 storm (2 MDSs, 1PC, 100 concurrent creates): the
+/// workload whose wall-clock speed bounds every sweep in the repo.  Returns
+/// kernel events for `sim_seconds` of simulated time; also reports the
+/// simulated-time throughput via *out_sim_ops.
+std::uint64_t fig6_storm_pass(double sim_seconds, double* out_sim_ops) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  ClusterConfig cc;
+  cc.n_nodes = 2;
+  cc.protocol = ProtocolKind::kOnePC;
+  Cluster cluster(sim, cc, stats, trace);
+  IdAllocator ids;
+  const ObjectId dir = ids.next();
+  PinnedPartitioner part(2, NodeId(1));
+  part.assign(dir, NodeId(0));
+  cluster.bootstrap_directory(dir, NodeId(0));
+  NamespacePlanner planner(part, OpCosts{});
+  ThroughputMeter meter;
+  SourceConfig scfg;
+  scfg.concurrency = 100;
+  CreateStormSource source(sim, cluster, scfg, meter, stats, planner, ids,
+                           dir);
+  source.start();
+  const Duration window = Duration::from_seconds_f(sim_seconds);
+  sim.run_until(SimTime::zero() + window);
+  if (out_sim_ops != nullptr) {
+    *out_sim_ops = meter.events_per_second_over(window);
+  }
+  return sim.dispatched_events();
+}
+
+}  // namespace
+
+std::vector<BenchSample> run_kernel_report(const ReportOptions& opt) {
+  std::vector<BenchSample> out;
+  const int batch = opt.smoke ? 256 : 16384;
+  out.push_back(measure("kernel_schedule_dispatch_16384", opt.smoke,
+                        [batch] { return schedule_dispatch_pass(batch); }));
+  const int churn = opt.smoke ? 256 : 4096;
+  out.push_back(measure("kernel_cancel_churn_4096", opt.smoke,
+                        [churn] { return cancel_churn_pass(churn); }));
+  double sim_ops = 0;
+  const double sim_secs = opt.smoke ? 0.05 : 1.0;
+  BenchSample storm =
+      measure("fig6_storm_1pc", opt.smoke, [sim_secs, &sim_ops] {
+        return fig6_storm_pass(sim_secs, &sim_ops);
+      });
+  storm.sim_ops_per_sec = sim_ops;
+  out.push_back(storm);
+  return out;
+}
+
+std::string render_json(const std::vector<BenchSample>& samples, bool smoke) {
+  std::string json = "{\n  \"schema\": 1,\n";
+  json += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n";
+  json += "  \"benches\": [\n";
+  char buf[512];
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const BenchSample& s = samples[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"events\": %llu, "
+                  "\"events_per_sec\": %.1f, \"ns_per_event\": %.2f, "
+                  "\"allocs_per_event\": %.4f, \"sim_ops_per_sec\": %.3f}%s\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.events),
+                  s.events_per_sec, s.ns_per_event, s.allocs_per_event,
+                  s.sim_ops_per_sec, i + 1 < samples.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+int run_bench_command(const ReportOptions& opt) {
+  const std::vector<BenchSample> samples = run_kernel_report(opt);
+
+  TextTable table({"bench", "events/sec", "ns/event", "allocs/event",
+                   "sim ops/s"});
+  for (const BenchSample& s : samples) {
+    table.add_row({s.name, TextTable::num(s.events_per_sec, 0),
+                   TextTable::num(s.ns_per_event, 2),
+                   TextTable::num(s.allocs_per_event, 4),
+                   TextTable::num(s.sim_ops_per_sec, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  if (!opt.json_path.empty()) {
+    const std::string json = render_json(samples, opt.smoke);
+    FILE* f = std::fopen(opt.json_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", opt.json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", opt.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace opc::benchreport

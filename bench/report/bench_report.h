@@ -1,0 +1,49 @@
+// Machine-readable kernel benchmark report (`opc bench`).
+//
+// Runs a fixed set of wall-clock benchmarks — the raw event-kernel cycle
+// plus a fixed-seed Figure-6 storm configuration — and emits one JSON
+// document (BENCH_kernel.json) with events/sec, ns/event and
+// allocations/event per bench.  CI compares the JSON against the committed
+// baseline in bench/baselines/ via tools/bench_diff.py and fails the perf
+// job on a >30 % throughput regression.
+//
+// Unlike the google-benchmark binaries (bench_sim_kernel), this runner has
+// no framework dependency and a stable output schema, so the comparator
+// stays a 50-line script.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace opc::benchreport {
+
+struct BenchSample {
+  std::string name;
+  std::uint64_t events = 0;       // kernel events dispatched in the window
+  double wall_seconds = 0;        // measured wall-clock time
+  double events_per_sec = 0;      // events / wall_seconds
+  double ns_per_event = 0;
+  double allocs_per_event = 0;    // operator-new calls per event
+  double sim_ops_per_sec = 0;     // workload benches: simulated-time ops/s
+};
+
+struct ReportOptions {
+  bool smoke = false;       // single iteration per bench, no repetition
+  std::string json_path;    // empty = stdout table only
+};
+
+/// Runs every bench once (or repeatedly until the measurement window fills)
+/// and returns the samples in a fixed order.
+[[nodiscard]] std::vector<BenchSample> run_kernel_report(
+    const ReportOptions& opt);
+
+/// Renders the samples as the BENCH_kernel.json document.
+[[nodiscard]] std::string render_json(const std::vector<BenchSample>& samples,
+                                      bool smoke);
+
+/// `opc bench` entry point: run, print a table, optionally write JSON.
+/// Returns a process exit code.
+int run_bench_command(const ReportOptions& opt);
+
+}  // namespace opc::benchreport

@@ -413,11 +413,14 @@ void AcpEngine::arm_response_timer(TxnId id) {
   ct->response_timer = EventHandle{};
   if (cfg_.response_timeout <= Duration::zero()) return;
   const std::uint64_t epoch = crash_epoch_;
-  ct->response_timer = sim_.schedule_after(
-      cfg_.response_timeout, [this, id, epoch] {
-        if (epoch != crash_epoch_) return;
-        on_response_timeout(id);
-      });
+  auto timeout_cb = [this, id, epoch] {
+    if (epoch != crash_epoch_) return;
+    on_response_timeout(id);
+  };
+  static_assert(Simulator::Callback::stores_inline<decltype(timeout_cb)>(),
+                "per-transaction response timer must not allocate");
+  ct->response_timer =
+      sim_.schedule_after(cfg_.response_timeout, std::move(timeout_cb));
 }
 
 void AcpEngine::on_response_timeout(TxnId id) {
@@ -734,10 +737,10 @@ void AcpEngine::reply_client(CoordTxn& ct, TxnOutcome outcome) {
   if (ct.cb) {
     // Detach from the current call stack so client logic (e.g. a closed
     // loop submitting the next transaction) runs as its own event.
-    sim_.schedule_after(Duration::zero(),
-                        [cb = ct.cb, id = ct.txn.id, outcome] {
-                          cb(id, outcome);
-                        });
+    auto reply_cb = [cb = ct.cb, id = ct.txn.id, outcome] { cb(id, outcome); };
+    static_assert(Simulator::Callback::stores_inline<decltype(reply_cb)>(),
+                  "client-reply detach must not allocate per commit");
+    sim_.schedule_after(Duration::zero(), std::move(reply_cb));
   }
 }
 

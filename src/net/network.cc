@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace opc {
@@ -55,9 +56,16 @@ void Network::send(Envelope env) {
   }
   channel_clock_[ch] = when;
 
-  sim_.schedule_at(when, [this, env = std::move(env)]() mutable {
-    deliver(std::move(env));
-  });
+  // Box the envelope: a 16-byte {this, unique_ptr} capture stays on the
+  // kernel's allocation-free inline-callback path (one envelope allocation
+  // instead of a std::function control block that re-copies the payload).
+  auto boxed = std::make_unique<Envelope>(std::move(env));
+  auto deliver_cb = [this, boxed = std::move(boxed)] {
+    deliver(std::move(*boxed));
+  };
+  static_assert(Simulator::Callback::stores_inline<decltype(deliver_cb)>(),
+                "network delivery must not allocate per dispatch");
+  sim_.schedule_at(when, std::move(deliver_cb));
 }
 
 void Network::deliver(Envelope env) {

@@ -1,0 +1,133 @@
+// Small-buffer-optimized, move-only callback for the simulation hot path.
+//
+// The simulator dispatches tens of millions of events per wall-clock second;
+// with std::function every schedule whose capture exceeds the library's tiny
+// SBO window (typically 16 bytes) costs a heap allocation plus a matching
+// free at dispatch.  InlineCallback widens that window to `InlineBytes`
+// (48 by default via Simulator::Callback — enough for a `this` pointer, a
+// couple of ids and an epoch, or one boxed payload pointer) and drops the
+// copyability requirement, so move-only captures such as
+// std::unique_ptr<Envelope> work directly.
+//
+// Sizing rule for callers (DESIGN.md §9): keep captures at or under
+// InlineBytes.  Capture pointers/ids, not value payloads; box anything big
+// in a unique_ptr.  `stores_inline<decltype(lambda)>()` lets hot callers
+// static_assert that they stayed on the allocation-free path.  Oversized or
+// throwing-move callables still work — they transparently fall back to one
+// heap allocation, exactly like std::function.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace opc {
+
+template <typename Signature, std::size_t InlineBytes>
+class InlineCallback;  // only the void() specialization exists today
+
+template <std::size_t InlineBytes>
+class InlineCallback<void(), InlineBytes> {
+ public:
+  InlineCallback() = default;
+  InlineCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (stores_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept { move_from(o); }
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  friend bool operator==(const InlineCallback& c, std::nullptr_t) {
+    return c.ops_ == nullptr;
+  }
+  friend bool operator!=(const InlineCallback& c, std::nullptr_t) {
+    return c.ops_ != nullptr;
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type Fn lives in the inline buffer (the
+  /// allocation-free path); false when it would be boxed on the heap.
+  template <typename Fn>
+  [[nodiscard]] static constexpr bool stores_inline() {
+    using D = std::decay_t<Fn>;
+    return sizeof(D) <= InlineBytes && alignof(D) <= kBufAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  // Hand-rolled vtable: one static Ops per erased type, three operations.
+  struct Ops {
+    void (*invoke)(void* buf);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* buf);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* buf) { std::launder(reinterpret_cast<Fn*>(buf))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* buf) { (**std::launder(reinterpret_cast<Fn**>(buf)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* buf) { delete *std::launder(reinterpret_cast<Fn**>(buf)); },
+  };
+
+  void move_from(InlineCallback& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  // Pointer alignment, not max_align_t: it keeps sizeof at InlineBytes + 8
+  // (so a 48-byte buffer yields a 56-byte callback and a 64-byte Simulator
+  // slot).  The rare over-aligned callable takes the heap path instead.
+  static constexpr std::size_t kBufAlign = alignof(void*);
+  alignas(kBufAlign) unsigned char buf_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace opc

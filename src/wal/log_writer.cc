@@ -96,7 +96,7 @@ void LogWriter::lazy(LogRecord rec, WriteTag tag) {
 
 void LogWriter::schedule_lazy_flush() {
   if (lazy_flush_timer_.valid()) return;
-  lazy_flush_timer_ = sim_.schedule_after(cfg_.lazy_flush_interval, [this] {
+  auto flush_cb = [this] {
     lazy_flush_timer_ = EventHandle{};
     if (lazy_buf_.empty() || crashed_ || part_.fenced()) return;
     auto recs = std::move(lazy_buf_);
@@ -125,7 +125,11 @@ void LogWriter::schedule_lazy_flush() {
       }
       part_.append_durable(std::move(recs));
     }
-  });
+  };
+  static_assert(Simulator::Callback::stores_inline<decltype(flush_cb)>(),
+                "lazy-flush timer must not allocate per schedule");
+  lazy_flush_timer_ =
+      sim_.schedule_after(cfg_.lazy_flush_interval, std::move(flush_cb));
 }
 
 void LogWriter::crash() {

@@ -2,6 +2,10 @@
 // determinism, trace hashing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
@@ -127,6 +131,139 @@ TEST(SimulatorTest, IdleAndPendingCounts) {
   EXPECT_EQ(sim.pending_events(), 1u);
   sim.run();
   EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, StaleHandleAfterSlotReuseIsRejected) {
+  Simulator sim;
+  bool first = false, second = false;
+  EventHandle a =
+      sim.schedule_after(Duration::millis(1), [&] { first = true; });
+  EXPECT_TRUE(sim.cancel(a));
+  // The freed slot is recycled for the next schedule with its generation
+  // bumped; the stale handle must not reach the new occupant.
+  EventHandle b =
+      sim.schedule_after(Duration::millis(2), [&] { second = true; });
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+  // Post-fire, b's slot is free again: both handles are now stale.
+  EXPECT_FALSE(sim.cancel(b));
+  EXPECT_FALSE(sim.cancel(a));
+}
+
+TEST(SimulatorTest, CallbackCanCancelPendingEvent) {
+  Simulator sim;
+  bool victim_fired = false;
+  EventHandle victim =
+      sim.schedule_after(Duration::millis(5), [&] { victim_fired = true; });
+  sim.schedule_after(Duration::millis(1),
+                     [&] { EXPECT_TRUE(sim.cancel(victim)); });
+  sim.schedule_after(Duration::millis(9), [] {});
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_FALSE(victim_fired);
+}
+
+TEST(SimulatorTest, RepeatedDeadlineProbesPreserveFifoOrder) {
+  // O(1) deadline probes: run_until before the first event must not touch
+  // the queue (the old kernel popped and re-pushed the head, which is both
+  // slow and an ordering hazard).
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::millis(10), [&] { order.push_back(2); });
+  sim.schedule_after(Duration::millis(10), [&] { order.push_back(3); });
+  for (int ms = 1; ms <= 9; ++ms) {
+    EXPECT_EQ(sim.run_until(SimTime::zero() + Duration::millis(ms)), 0u);
+    EXPECT_EQ(sim.pending_events(), 3u);
+  }
+  // A deadline exactly on the event time dispatches it (inclusive bound).
+  EXPECT_EQ(sim.run_until(SimTime::zero() + Duration::millis(10)), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ChurnStressMatchesReferenceModel) {
+  // Randomized schedule/cancel/reschedule interleavings, with partial
+  // drains between bursts, checked against a brute-force reference model.
+  // 20k operations keeps >4096 events live at peaks, so the slab crosses
+  // chunk boundaries and interior heap removals happen at every depth.
+  Simulator sim;
+  Rng rng(0x0206'2012);
+
+  struct Pending {
+    std::int64_t when_ns;   // absolute fire time
+    std::uint64_t seq;      // global schedule order (FIFO tiebreak)
+    std::uint64_t id;
+    EventHandle h;
+  };
+  std::vector<Pending> model;
+  std::vector<std::uint64_t> fired;
+  std::uint64_t next_seq = 0, next_id = 0;
+
+  auto expect_drain = [&](std::int64_t deadline_ns) {
+    // Reference semantics: every pending event with when <= deadline fires,
+    // ordered by (when, schedule seq).
+    std::vector<Pending> due;
+    std::vector<Pending> rest;
+    for (const Pending& p : model) {
+      (p.when_ns <= deadline_ns ? due : rest).push_back(p);
+    }
+    std::sort(due.begin(), due.end(), [](const Pending& a, const Pending& b) {
+      return a.when_ns != b.when_ns ? a.when_ns < b.when_ns : a.seq < b.seq;
+    });
+    fired.clear();
+    const std::uint64_t n =
+        sim.run_until(SimTime::zero() + Duration::nanos(deadline_ns));
+    ASSERT_EQ(n, due.size());
+    ASSERT_EQ(fired.size(), due.size());
+    for (std::size_t i = 0; i < due.size(); ++i) {
+      EXPECT_EQ(fired[i], due[i].id) << "drain order diverged at " << i;
+    }
+    model = std::move(rest);
+  };
+
+  const std::int64_t kBurstNs = 100'000;
+  std::int64_t base_ns = 0;
+  for (int burst = 0; burst < 4; ++burst) {
+    for (int op = 0; op < 5000; ++op) {
+      const std::uint64_t pick = rng.uniform_u64(0, 99);
+      if (pick < 55 || model.empty()) {
+        Pending p;
+        p.when_ns =
+            base_ns + static_cast<std::int64_t>(rng.uniform_u64(0, 2 * kBurstNs));
+        p.seq = next_seq++;
+        p.id = next_id++;
+        p.h = sim.schedule_at(SimTime::zero() + Duration::nanos(p.when_ns),
+                              [&fired, id = p.id] { fired.push_back(id); });
+        model.push_back(p);
+      } else if (pick < 85) {
+        const std::size_t victim = rng.index(model.size());
+        EXPECT_TRUE(sim.cancel(model[victim].h));
+        EXPECT_FALSE(sim.cancel(model[victim].h));
+        model.erase(model.begin() + static_cast<std::ptrdiff_t>(victim));
+      } else {
+        // Reschedule = cancel + new schedule (fresh FIFO position).
+        const std::size_t victim = rng.index(model.size());
+        Pending p = model[victim];
+        EXPECT_TRUE(sim.cancel(p.h));
+        model.erase(model.begin() + static_cast<std::ptrdiff_t>(victim));
+        p.when_ns =
+            base_ns + static_cast<std::int64_t>(rng.uniform_u64(0, 2 * kBurstNs));
+        p.seq = next_seq++;
+        p.h = sim.schedule_at(SimTime::zero() + Duration::nanos(p.when_ns),
+                              [&fired, id = p.id] { fired.push_back(id); });
+        model.push_back(p);
+      }
+    }
+    EXPECT_EQ(sim.pending_events(), model.size());
+    base_ns += kBurstNs;
+    expect_drain(base_ns);
+  }
+  // Final drain far past every scheduled time empties the queue in order.
+  expect_drain(base_ns + 10 * kBurstNs);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_TRUE(model.empty());
 }
 
 TEST(RngTest, DeterministicAcrossInstances) {

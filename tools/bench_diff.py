@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_kernel.json run against the committed baseline.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.30]
+
+Exit codes:
+    0  every bench within the regression budget
+    1  at least one bench regressed more than --threshold (fractional)
+    2  malformed input / benches missing from either file
+
+The comparison is throughput-based (events_per_sec).  allocs_per_event is
+reported for context and checked only for gross regressions (a bench that
+was allocation-free going allocating), since it is the number the inline
+callback fast path is designed to hold at zero.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1:
+        sys.exit(f"error: {path}: unsupported schema {doc.get('schema')!r}")
+    if doc.get("smoke"):
+        sys.exit(f"error: {path}: refusing to compare a --smoke run")
+    return {b["name"]: b for b in doc.get("benches", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max allowed fractional throughput drop (default 0.30)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"error: benches missing from {args.current}: {missing}")
+        return 2
+
+    failed = False
+    print(f"{'bench':<34} {'baseline ev/s':>14} {'current ev/s':>14} "
+          f"{'delta':>8}  {'allocs/ev':>18}")
+    for name, b in sorted(base.items()):
+        c = cur[name]
+        b_eps, c_eps = b["events_per_sec"], c["events_per_sec"]
+        delta = (c_eps - b_eps) / b_eps if b_eps > 0 else 0.0
+        allocs = f"{b['allocs_per_event']:.3f} -> {c['allocs_per_event']:.3f}"
+        verdict = ""
+        if delta < -args.threshold:
+            verdict = "  REGRESSION"
+            failed = True
+        # A bench engineered to be allocation-free must stay that way: going
+        # from <0.01 to >=1 alloc/event is a fast-path break even if raw
+        # throughput on this runner absorbed it.
+        if b["allocs_per_event"] < 0.01 and c["allocs_per_event"] >= 1.0:
+            verdict += "  ALLOC-REGRESSION"
+            failed = True
+        print(f"{name:<34} {b_eps:>14.0f} {c_eps:>14.0f} {delta:>+7.1%} "
+              f" {allocs:>18}{verdict}")
+
+    extra = sorted(set(cur) - set(base))
+    if extra:
+        print(f"note: benches not in baseline (ignored): {extra}")
+    if failed:
+        print(f"\nFAIL: throughput regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline} "
+              f"(refresh the baseline only with a justified perf change)")
+        return 1
+    print("\nOK: within regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

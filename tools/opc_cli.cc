@@ -23,6 +23,7 @@
 #include "core/experiment.h"
 #include "core/sweep.h"
 #include "core/timeline.h"
+#include "report/bench_report.h"
 #include "stats/table.h"
 
 namespace {
@@ -35,22 +36,20 @@ using namespace opc;
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc;) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
         ok_ = false;
         return;
       }
-      kv_[argv[i] + 2] = argv[i + 1];
-    }
-    if ((argc - first) % 2 != 0) {
-      // Allow a lone trailing boolean flag (e.g. --csv).
-      const char* last = argv[argc - 1];
-      if (std::strncmp(last, "--", 2) == 0) {
-        kv_[last + 2] = "true";
+      // `--flag value` consumes two arguments; a `--flag` followed by
+      // another `--flag` (or nothing) is boolean (e.g. --csv --smoke).
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        kv_[argv[i] + 2] = argv[i + 1];
+        i += 2;
       } else {
-        std::fprintf(stderr, "dangling argument '%s'\n", last);
-        ok_ = false;
+        kv_[argv[i] + 2] = "true";
+        i += 1;
       }
     }
   }
@@ -375,6 +374,13 @@ int cmd_chaos(const Args& a) {
   return 1;
 }
 
+int cmd_bench(const Args& a) {
+  benchreport::ReportOptions opt;
+  opt.smoke = a.flag("smoke");
+  opt.json_path = a.str("json", "");
+  return benchreport::run_bench_command(opt);
+}
+
 int cmd_timeline(const Args& a) {
   std::vector<ProtocolKind> protos;
   if (!parse_protocols(a.str("proto", "all"), protos)) return 2;
@@ -422,6 +428,9 @@ int cmd_help() {
       "  mixed     mixed CREATE/DELETE/RENAME over a hash-partitioned tree\n"
       "  sweep     parameter sweep (--param X --values a,b,c)\n"
       "  chaos     property-based fault-schedule exploration\n"
+      "  bench     kernel benchmark report (--json BENCH_kernel.json,\n"
+      "            --smoke for a single quick pass); compare against\n"
+      "            bench/baselines/ with tools/bench_diff.py\n"
       "  timeline  message/log-write chart of one CREATE (Figs. 2-5)\n"
       "  table1    per-protocol cost counters (Table I, + PrA extension)\n"
       "  help      this text\n"
@@ -466,6 +475,7 @@ int main(int argc, char** argv) {
   if (cmd == "mixed") return cmd_mixed(args);
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "chaos") return cmd_chaos(args);
+  if (cmd == "bench") return cmd_bench(args);
   if (cmd == "timeline") return cmd_timeline(args);
   if (cmd == "table1") return cmd_table1();
   return cmd_help();
