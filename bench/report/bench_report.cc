@@ -4,8 +4,12 @@
 #include <cstdio>
 #include <functional>
 
+#include <map>
+
 #include "cluster/cluster.h"
 #include "mds/namespace.h"
+#include "obs/assembler.h"
+#include "obs/phase.h"
 #include "report/alloc_hook.h"
 #include "sim/simulator.h"
 #include "stats/table.h"
@@ -107,7 +111,69 @@ std::uint64_t fig6_storm_pass(double sim_seconds, double* out_sim_ops) {
   return sim.dispatched_events();
 }
 
+/// Hot-counter updates through StatsRegistry: after the first touch of a
+/// name the transparent-comparator lookup must be allocation-free (the
+/// whole point of CounterMap using std::less<>).  Asserted here so the
+/// bench smoke — which tier-1 runs via `ctest -L bench` — catches a
+/// regression to per-update std::string temporaries.
+std::uint64_t stats_counter_pass(int batch) {
+  StatsRegistry stats;
+  static constexpr std::string_view kHot[] = {
+      "acp.msg.total", "wal.force.count", "lock.grants.immediate",
+      "net.delivered"};
+  for (const std::string_view name : kHot) stats.add(name, 0);
+  const std::uint64_t allocs0 = allocation_count();
+  for (int i = 0; i < batch; ++i) {
+    stats.add(kHot[i & 3]);
+  }
+  const std::uint64_t delta = allocation_count() - allocs0;
+  SIM_CHECK_MSG(delta == 0, "hot counter updates must not allocate");
+  SIM_CHECK(stats.get("acp.msg.total") > 0);
+  return static_cast<std::uint64_t>(batch);
+}
+
 }  // namespace
+
+std::vector<PhaseBreakdownSample> storm_phase_breakdown(double sim_seconds) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(true);  // instrumented pass, never a timed region
+  obs::PhaseLog phases;
+  ClusterConfig cc;
+  cc.n_nodes = 2;
+  cc.protocol = ProtocolKind::kOnePC;
+  cc.phase_log = &phases;
+  Cluster cluster(sim, cc, stats, trace);
+  IdAllocator ids;
+  const ObjectId dir = ids.next();
+  PinnedPartitioner part(2, NodeId(1));
+  part.assign(dir, NodeId(0));
+  cluster.bootstrap_directory(dir, NodeId(0));
+  NamespacePlanner planner(part, OpCosts{});
+  ThroughputMeter meter;
+  SourceConfig scfg;
+  scfg.concurrency = 100;
+  CreateStormSource source(sim, cluster, scfg, meter, stats, planner, ids,
+                           dir);
+  source.start();
+  sim.run_until(SimTime::zero() + Duration::from_seconds_f(sim_seconds));
+
+  const obs::SpanSet spans = obs::assemble_spans(trace.events(), &phases);
+  std::map<std::string, PhaseBreakdownSample> agg;
+  for (const obs::Span& s : spans.spans) {
+    if (s.kind != obs::SpanKind::kPhase) continue;
+    PhaseBreakdownSample& row = agg[s.name];
+    row.phase = s.name;
+    row.count += 1;
+    row.total_ns += s.duration_ns();
+  }
+  std::vector<PhaseBreakdownSample> out;
+  for (auto& [name, row] : agg) {
+    row.mean_ns = row.count > 0 ? row.total_ns / row.count : 0;
+    out.push_back(row);
+  }
+  return out;
+}
 
 std::vector<BenchSample> run_kernel_report(const ReportOptions& opt) {
   std::vector<BenchSample> out;
@@ -125,10 +191,18 @@ std::vector<BenchSample> run_kernel_report(const ReportOptions& opt) {
       });
   storm.sim_ops_per_sec = sim_ops;
   out.push_back(storm);
+  // New since the committed baseline; tools/bench_diff.py only compares
+  // benches present in the baseline, so this sample is baseline-safe.
+  const int counter_batch = opt.smoke ? 4096 : 65536;
+  out.push_back(measure("stats_counter_add_65536", opt.smoke,
+                        [counter_batch] {
+                          return stats_counter_pass(counter_batch);
+                        }));
   return out;
 }
 
-std::string render_json(const std::vector<BenchSample>& samples, bool smoke) {
+std::string render_json(const std::vector<BenchSample>& samples, bool smoke,
+                        const std::vector<PhaseBreakdownSample>& breakdown) {
   std::string json = "{\n  \"schema\": 1,\n";
   json += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n";
   json += "  \"benches\": [\n";
@@ -144,7 +218,23 @@ std::string render_json(const std::vector<BenchSample>& samples, bool smoke) {
                   s.sim_ops_per_sec, i + 1 < samples.size() ? "," : "");
     json += buf;
   }
-  json += "  ]\n}\n";
+  json += "  ]";
+  if (!breakdown.empty()) {
+    json += ",\n  \"storm_phase_breakdown\": [\n";
+    for (std::size_t i = 0; i < breakdown.size(); ++i) {
+      const PhaseBreakdownSample& b = breakdown[i];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"phase\": \"%s\", \"count\": %lld, "
+                    "\"total_ns\": %lld, \"mean_ns\": %lld}%s\n",
+                    b.phase.c_str(), static_cast<long long>(b.count),
+                    static_cast<long long>(b.total_ns),
+                    static_cast<long long>(b.mean_ns),
+                    i + 1 < breakdown.size() ? "," : "");
+      json += buf;
+    }
+    json += "  ]";
+  }
+  json += "\n}\n";
   return json;
 }
 
@@ -161,8 +251,18 @@ int run_bench_command(const ReportOptions& opt) {
   }
   std::fputs(table.render().c_str(), stdout);
 
+  // Untimed, traced storm pass: where simulated time goes per phase.
+  const std::vector<PhaseBreakdownSample> breakdown =
+      storm_phase_breakdown(opt.smoke ? 0.05 : 0.5);
+  TextTable ptable({"storm phase", "count", "total ns", "mean ns"});
+  for (const PhaseBreakdownSample& b : breakdown) {
+    ptable.add_row({b.phase, std::to_string(b.count),
+                    std::to_string(b.total_ns), std::to_string(b.mean_ns)});
+  }
+  std::fputs(ptable.render().c_str(), stdout);
+
   if (!opt.json_path.empty()) {
-    const std::string json = render_json(samples, opt.smoke);
+    const std::string json = render_json(samples, opt.smoke, breakdown);
     FILE* f = std::fopen(opt.json_path.c_str(), "wb");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write '%s'\n", opt.json_path.c_str());

@@ -33,14 +33,35 @@ struct ReportOptions {
   std::string json_path;    // empty = stdout table only
 };
 
+/// Span-derived storm timing: where a protocol's simulated time goes, per
+/// engine phase (docs/OBSERVABILITY.md §3).  Produced by an instrumented
+/// (traced) storm pass run *outside* the timed benches — tracing stays off
+/// in every measured region, so the kernel numbers and the committed
+/// baseline are unaffected.
+struct PhaseBreakdownSample {
+  std::string phase;         // e.g. "coord.commit_force"
+  std::int64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t mean_ns = 0;
+};
+
 /// Runs every bench once (or repeatedly until the measurement window fills)
 /// and returns the samples in a fixed order.
 [[nodiscard]] std::vector<BenchSample> run_kernel_report(
     const ReportOptions& opt);
 
-/// Renders the samples as the BENCH_kernel.json document.
-[[nodiscard]] std::string render_json(const std::vector<BenchSample>& samples,
-                                      bool smoke);
+/// One traced fixed-seed 1PC storm of `sim_seconds`, folded into the
+/// per-phase time breakdown.
+[[nodiscard]] std::vector<PhaseBreakdownSample> storm_phase_breakdown(
+    double sim_seconds);
+
+/// Renders the samples as the BENCH_kernel.json document.  The breakdown
+/// lands under an extra "storm_phase_breakdown" key, which
+/// tools/bench_diff.py ignores (it only compares benches present in the
+/// baseline).
+[[nodiscard]] std::string render_json(
+    const std::vector<BenchSample>& samples, bool smoke,
+    const std::vector<PhaseBreakdownSample>& breakdown = {});
 
 /// `opc bench` entry point: run, print a table, optionally write JSON.
 /// Returns a process exit code.

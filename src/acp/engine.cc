@@ -12,10 +12,10 @@ AcpEngine::AcpEngine(Simulator& sim, NodeId self, ProtocolKind proto,
                      LockManager& locks, MetaStore& store,
                      SharedStorage& storage, StatsRegistry& stats,
                      TraceRecorder& trace, FencingService* fencing,
-                     HistoryRecorder* history)
+                     HistoryRecorder* history, obs::PhaseLog* phases)
     : sim_(sim), self_(self), proto_(proto), cfg_(cfg), net_(net), wal_(wal),
       locks_(locks), store_(store), storage_(storage), stats_(stats),
-      trace_(trace), fencing_(fencing), history_(history) {}
+      trace_(trace), fencing_(fencing), history_(history), phases_(phases) {}
 
 // ---------------------------------------------------------------------------
 // Shared helpers
@@ -179,6 +179,7 @@ void AcpEngine::start_coordination(CoordTxn& ct) {
                     std::string(protocol_name(ct.proto)) +
                     (ct.txn.is_local() ? " (local)" : ""),
                 id);
+  phase_mark(id, obs::PhaseId::kLock, true);
   ct.lock_objs = sorted_objects(ct.txn.participants.front().ops);
   ct.phase = CoordPhase::kLocking;
   acquire_next_lock(id);
@@ -188,6 +189,7 @@ void AcpEngine::acquire_next_lock(TxnId id) {
   CoordTxn* ct = coord_of(id);
   if (ct == nullptr) return;
   if (ct->locks_granted == ct->lock_objs.size()) {
+    phase_mark(id, obs::PhaseId::kLock, false);
     record_accesses(id, ct->txn.participants.front().ops);
     if (ct->txn.is_local()) {
       run_local_fastpath(id);
@@ -223,6 +225,7 @@ void AcpEngine::acquire_next_lock(TxnId id) {
         CoordTxn* c = coord_of(id);
         if (c == nullptr) return;
         // Nothing is logged yet; drop the transaction quietly.
+        phase_mark(id, obs::PhaseId::kLock, false);
         stats_.add("acp.abort.lock_timeout");
         locks_.release_all(id);
         if (history_ != nullptr) history_->record_abort(id);
@@ -315,11 +318,13 @@ void AcpEngine::force_started(TxnId id) {
     recs.push_back(std::move(redo));
   }
   const std::uint64_t epoch = crash_epoch_;
+  phase_mark(id, obs::PhaseId::kStartForce, true);
   wal_.force(std::move(recs), WriteTag{"started", true}, [this, id, epoch] {
     if (epoch != crash_epoch_) return;
     CoordTxn* c = coord_of(id);
     if (c == nullptr) return;
     c->started_durable = true;
+    phase_mark(id, obs::PhaseId::kStartForce, false);
     run_local_updates(id);
   });
 }
@@ -328,6 +333,7 @@ void AcpEngine::run_local_updates(TxnId id) {
   CoordTxn* ct = coord_of(id);
   if (ct == nullptr) return;
   ct->phase = CoordPhase::kUpdating;
+  phase_mark(id, obs::PhaseId::kLocalUpdate, true);
   // A re-driven 1PC transaction must not take the unilateral abort path:
   // the worker may already have committed.  Its local updates are not
   // cached — they replay from the redo record at commit time instead.
@@ -350,6 +356,7 @@ void AcpEngine::run_local_updates(TxnId id) {
   const std::uint64_t epoch = crash_epoch_;
   sim_.schedule_after(compute, [this, id, epoch] {
     if (epoch != crash_epoch_) return;
+    phase_mark(id, obs::PhaseId::kLocalUpdate, false);
     send_update_reqs(id);
   });
 }
@@ -376,6 +383,7 @@ void AcpEngine::send_update_reqs(TxnId id) {
     return;
   }
   ct->reqs_sent = true;
+  phase_mark(id, obs::PhaseId::kUpdateRound, true);
   for (std::size_t i = 1; i < ct->txn.participants.size(); ++i) {
     const Participant& p = ct->txn.participants[i];
     Msg m;
@@ -497,6 +505,7 @@ void AcpEngine::on_updated(TxnId id, const Msg& m) {
   if (ct->updated.size() < workers) return;
   sim_.cancel(ct->response_timer);
   ct->response_timer = EventHandle{};
+  phase_mark(id, obs::PhaseId::kUpdateRound, false);
 
   switch (ct->proto) {
     case ProtocolKind::kPrN:
@@ -522,6 +531,7 @@ void AcpEngine::on_updated(TxnId id, const Msg& m) {
       if (history_ != nullptr) history_->record_commit(id);
       reply_client(*ct, TxnOutcome::kCommitted);
       ct->phase = CoordPhase::kForcingCommit;
+      phase_mark(id, obs::PhaseId::kCommitForce, true);
       std::vector<LogRecord> recs;
       recs.push_back(update_record(id, ct->txn.participants.front().ops));
       recs.push_back(state_record(RecordType::kCommitted, id));
@@ -540,6 +550,7 @@ void AcpEngine::enter_voting(TxnId id) {
   CoordTxn* ct = coord_of(id);
   if (ct == nullptr) return;
   ct->phase = CoordPhase::kVoting;
+  phase_mark(id, obs::PhaseId::kVoteRound, true);
   for (std::size_t i = 1; i < ct->txn.participants.size(); ++i) {
     Msg m;
     m.type = MsgType::kPrepareReq;
@@ -580,6 +591,9 @@ void AcpEngine::maybe_commit(TxnId id) {
   ct->phase = CoordPhase::kForcingCommit;
   sim_.cancel(ct->response_timer);
   ct->response_timer = EventHandle{};
+  // EP never entered the vote round; the assembler drops unmatched leaves.
+  phase_mark(id, obs::PhaseId::kVoteRound, false);
+  phase_mark(id, obs::PhaseId::kCommitForce, true);
   std::vector<LogRecord> recs;
   recs.push_back(state_record(RecordType::kCommitted, id));
   const std::uint64_t epoch = crash_epoch_;
@@ -593,6 +607,7 @@ void AcpEngine::maybe_commit(TxnId id) {
 void AcpEngine::on_commit_durable(TxnId id) {
   CoordTxn* ct = coord_of(id);
   if (ct == nullptr) return;
+  phase_mark(id, obs::PhaseId::kCommitForce, false);
   switch (ct->proto) {
     case ProtocolKind::kPrN:
     case ProtocolKind::kPrA: {
@@ -607,6 +622,7 @@ void AcpEngine::on_commit_durable(TxnId id) {
       locks_.release_all(id);
       if (history_ != nullptr) history_->record_commit(id);
       ct->phase = CoordPhase::kWaitingAcks;
+      phase_mark(id, obs::PhaseId::kAckRound, true);
       for (std::size_t i = 1; i < ct->txn.participants.size(); ++i) {
         Msg m;
         m.type = MsgType::kCommit;
@@ -667,6 +683,7 @@ void AcpEngine::on_all_acked(TxnId id) {
   if (ct == nullptr) return;
   sim_.cancel(ct->response_timer);
   ct->response_timer = EventHandle{};
+  phase_mark(id, obs::PhaseId::kAckRound, false);
   const TxnOutcome outcome =
       ct->aborting ? TxnOutcome::kAborted : TxnOutcome::kCommitted;
   // Finalize: the log can be checkpointed and garbage collected.  The ENDED
@@ -713,6 +730,7 @@ void AcpEngine::abort_coordination(TxnId id, const std::string& why) {
     return;
   }
   ct->phase = CoordPhase::kWaitingAcks;
+  phase_mark(id, obs::PhaseId::kAckRound, true);
   if (ct->acked.size() >= ct->txn.participants.size() - 1) {
     // Every worker either vetoed (implicit ack) or already acknowledged.
     on_all_acked(id);
@@ -821,6 +839,7 @@ void AcpEngine::worker_handle_update_req(const Msg& m) {
   auto [it2, inserted] = work_.emplace(id, std::move(wt));
   SIM_CHECK(inserted);
   (void)it2;
+  phase_mark(id, obs::PhaseId::kWorkerLock, true);
   worker_acquire_next_lock(id);
 }
 
@@ -828,6 +847,7 @@ void AcpEngine::worker_acquire_next_lock(TxnId id) {
   WorkTxn* wt = work_of(id);
   if (wt == nullptr) return;
   if (wt->locks_granted == wt->lock_objs.size()) {
+    phase_mark(id, obs::PhaseId::kWorkerLock, false);
     record_accesses(id, wt->ops);
     if (wt->recovered) {
       // Reboot recovery from PREPARED: the objects are re-protected; now
@@ -868,6 +888,7 @@ void AcpEngine::worker_run_updates(TxnId id) {
   WorkTxn* wt = work_of(id);
   if (wt == nullptr) return;
   wt->phase = WorkPhase::kUpdating;
+  phase_mark(id, obs::PhaseId::kWorkerUpdate, true);
   for (const Operation& op : wt->ops) {
     const StoreStatus st = store_.apply(id, op);
     if (st != StoreStatus::kOk) {
@@ -889,6 +910,7 @@ void AcpEngine::worker_run_updates(TxnId id) {
 void AcpEngine::worker_after_updates(TxnId id) {
   WorkTxn* wt = work_of(id);
   if (wt == nullptr) return;
+  phase_mark(id, obs::PhaseId::kWorkerUpdate, false);
   if (wt->commit_on_update) {
     // 1PC: commit immediately; the UPDATED reply doubles as the vote and
     // the commit confirmation.
@@ -945,12 +967,14 @@ void AcpEngine::worker_prepare(TxnId id, bool also_reply_updated) {
   recs.push_back(std::move(prepared));
   wt->prepare_forced = true;
   const std::uint64_t epoch = crash_epoch_;
+  phase_mark(id, obs::PhaseId::kWorkerPrepareForce, true);
   wal_.force(std::move(recs), WriteTag{"prepare", /*critical=*/true},
              [this, id, epoch, also_reply_updated] {
                if (epoch != crash_epoch_) return;
                WorkTxn* w = work_of(id);
                if (w == nullptr) return;
                w->phase = WorkPhase::kPrepared;
+               phase_mark(id, obs::PhaseId::kWorkerPrepareForce, false);
                Msg r;
                r.type = also_reply_updated ? MsgType::kUpdated
                                            : MsgType::kPrepared;
@@ -1000,6 +1024,8 @@ void AcpEngine::worker_commit(TxnId id, bool forced_record,
     if (epoch != crash_epoch_) return;
     WorkTxn* w = work_of(id);
     if (w == nullptr) return;
+    // Lazy-path calls never entered the phase; that leave is dropped.
+    phase_mark(id, obs::PhaseId::kWorkerCommitForce, false);
     if (w->recovered) {
       store_.replay_committed(id, w->ops);
     } else {
@@ -1043,6 +1069,7 @@ void AcpEngine::worker_commit(TxnId id, bool forced_record,
       recs.push_back(update_record(id, wt->ops));
     }
     recs.push_back(std::move(committed));
+    phase_mark(id, obs::PhaseId::kWorkerCommitForce, true);
     wal_.force(std::move(recs), WriteTag{"commit", /*critical=*/true},
                std::move(complete));
   } else {

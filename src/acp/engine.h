@@ -30,6 +30,7 @@
 #include "lock/lock_manager.h"
 #include "mds/store.h"
 #include "net/network.h"
+#include "obs/phase.h"
 #include "sim/simulator.h"
 #include "stats/histogram.h"
 #include "txn/serializability.h"
@@ -46,7 +47,8 @@ class AcpEngine {
             Network& net, LogWriter& wal, LockManager& locks, MetaStore& store,
             SharedStorage& storage, StatsRegistry& stats, TraceRecorder& trace,
             FencingService* fencing = nullptr,
-            HistoryRecorder* history = nullptr);
+            HistoryRecorder* history = nullptr,
+            obs::PhaseLog* phases = nullptr);
 
   AcpEngine(const AcpEngine&) = delete;
   AcpEngine& operator=(const AcpEngine&) = delete;
@@ -235,6 +237,16 @@ class AcpEngine {
   TraceRecorder& trace_;
   FencingService* fencing_;
   HistoryRecorder* history_;
+  obs::PhaseLog* phases_;  // observability side-channel; null = disabled
+
+  // Phase-boundary annotation for the span assembler (docs/OBSERVABILITY.md
+  // §3).  Off by default and never feeds trace_, so the determinism hash
+  // and the hot path are untouched: one pointer compare when disabled.
+  void phase_mark(TxnId id, obs::PhaseId p, bool enter) {
+    if (phases_ != nullptr) {
+      phases_->log(sim_.now(), self_, id, p, enter);
+    }
+  }
 
   bool crashed_ = false;
   bool recovering_ = false;  // until every recovered txn reaches a decision

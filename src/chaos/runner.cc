@@ -1,5 +1,7 @@
 #include "chaos/runner.h"
 
+#include "obs/assembler.h"
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -28,6 +30,12 @@ bool parse_protocol(const std::string& s, ProtocolKind& out) {
 
 ChaosRunResult run_schedule(const ChaosRunConfig& cfg,
                             const FaultSchedule& schedule) {
+  return run_schedule(cfg, schedule, nullptr);
+}
+
+ChaosRunResult run_schedule(const ChaosRunConfig& cfg,
+                            const FaultSchedule& schedule,
+                            obs::RunReport* report) {
   Simulator sim;
   StatsRegistry stats;
   TraceRecorder trace(true);  // hashes + trigger observers need the trace
@@ -43,6 +51,8 @@ ChaosRunResult run_schedule(const ChaosRunConfig& cfg,
   cc.heartbeat.enabled = true;
   cc.heartbeat.interval = Duration::millis(50);
   cc.heartbeat.suspicion_timeout = Duration::millis(250);
+  obs::PhaseLog phase_log;
+  if (report != nullptr) cc.phase_log = &phase_log;
   Cluster cluster(sim, cc, stats, trace);
 
   IdAllocator ids;
@@ -112,6 +122,33 @@ ChaosRunResult run_schedule(const ChaosRunConfig& cfg,
   // Hash last: it covers the drain and the durability power cycle too, so a
   // replay must reproduce the *entire* history byte-for-byte.
   r.trace_hash = trace.history_hash();
+
+  if (report != nullptr) {
+    const obs::SpanSet spans = obs::assemble_spans(trace.events(), &phase_log);
+    Histogram latency;
+    for (std::uint32_t i = 0; i < cluster.size(); ++i) {
+      latency.merge(cluster.engine(NodeId(i)).client_latency());
+    }
+    obs::ReportInputs in;
+    in.meta.protocol = std::string(protocol_name(cfg.protocol));
+    in.meta.workload = "chaos";
+    in.meta.seed = cfg.seed;
+    in.meta.nodes = static_cast<int>(cfg.n_nodes);
+    in.meta.sim_duration_ns = sim.now().count_nanos();
+    in.spans = &spans;
+    in.stats = &stats;
+    in.latency = &latency;
+    in.committed = static_cast<std::int64_t>(r.committed);
+    in.aborted = static_cast<std::int64_t>(r.aborted);
+    in.lost = static_cast<std::int64_t>(r.lost);
+    in.ops_per_second = meter.events_per_second_over(cfg.run_for);
+    in.trace_hash = r.trace_hash;
+    std::istringstream lines(render_schedule(schedule));
+    for (std::string line; std::getline(lines, line);) {
+      if (!line.empty()) in.faults.push_back(line);
+    }
+    *report = obs::build_report(in);
+  }
   return r;
 }
 

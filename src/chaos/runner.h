@@ -14,6 +14,7 @@
 
 #include "chaos/checker.h"
 #include "chaos/nemesis.h"
+#include "obs/report.h"
 #include "workload/source.h"
 
 namespace opc {
@@ -45,6 +46,15 @@ struct ChaosRunResult {
 /// Runs one schedule to completion and checks it.  Deterministic.
 [[nodiscard]] ChaosRunResult run_schedule(const ChaosRunConfig& cfg,
                                           const FaultSchedule& schedule);
+
+/// Same run, but additionally assembles the observability RunReport —
+/// spans from the (already recorded) trace plus engine phase annotations,
+/// joined with counters, and with the injected fault schedule attached
+/// (docs/OBSERVABILITY.md §4 `faults`).  The report path changes nothing
+/// about the simulation: trace hashes are identical with and without it.
+[[nodiscard]] ChaosRunResult run_schedule(const ChaosRunConfig& cfg,
+                                          const FaultSchedule& schedule,
+                                          obs::RunReport* report);
 
 /// Serializes config + schedule as a replayable repro file.
 [[nodiscard]] std::string render_repro(const ChaosRunConfig& cfg,

@@ -18,7 +18,7 @@ Cluster::Cluster(Simulator& sim, ClusterConfig cfg, StatsRegistry& stats,
     nodes_.push_back(std::make_unique<MdsNode>(
         sim, id, cfg_.protocol, cfg_.acp, cfg_.wal, cfg_.heartbeat, *net_,
         *storage_, part, stats, trace, fencing_.get(),
-        cfg_.record_history ? &history_ : nullptr));
+        cfg_.record_history ? &history_ : nullptr, cfg_.phase_log));
   }
   for (std::uint32_t i = 0; i < cfg_.n_nodes; ++i) {
     std::vector<NodeId> peers;

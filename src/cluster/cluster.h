@@ -25,6 +25,11 @@ struct ClusterConfig {
   FencingConfig fencing;
   bool record_history = false;  // feed the serializability checker
   std::uint64_t seed = 1;
+  // Observability opt-in: when set, every engine logs protocol phase
+  // boundaries here for post-run span assembly (docs/OBSERVABILITY.md §3).
+  // Null (the default) keeps the hot path at a single pointer compare and
+  // leaves trace hashes and bench baselines untouched.
+  obs::PhaseLog* phase_log = nullptr;
 };
 
 class Cluster {

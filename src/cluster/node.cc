@@ -11,13 +11,14 @@ MdsNode::MdsNode(Simulator& sim, NodeId id, ProtocolKind proto,
                  AcpConfig acp_cfg, WalConfig wal_cfg, HeartbeatConfig hb_cfg,
                  Network& net, SharedStorage& storage, LogPartition& partition,
                  StatsRegistry& stats, TraceRecorder& trace,
-                 FencingService* fencing, HistoryRecorder* history)
+                 FencingService* fencing, HistoryRecorder* history,
+                 obs::PhaseLog* phases)
     : sim_(sim), id_(id), hb_cfg_(hb_cfg), net_(net), storage_(storage),
       stats_(stats), trace_(trace), store_(id),
       locks_(sim, "locks." + id.str(), stats, trace),
       wal_(sim, id, partition, stats, trace, wal_cfg),
       engine_(sim, id, proto, acp_cfg, net, wal_, locks_, store_, storage,
-              stats, trace, fencing, history) {}
+              stats, trace, fencing, history, phases) {}
 
 void MdsNode::start() {
   SIM_CHECK(!alive_);

@@ -25,7 +25,7 @@ class MdsNode {
           WalConfig wal_cfg, HeartbeatConfig hb_cfg, Network& net,
           SharedStorage& storage, LogPartition& partition,
           StatsRegistry& stats, TraceRecorder& trace, FencingService* fencing,
-          HistoryRecorder* history);
+          HistoryRecorder* history, obs::PhaseLog* phases = nullptr);
 
   MdsNode(const MdsNode&) = delete;
   MdsNode& operator=(const MdsNode&) = delete;

@@ -11,6 +11,9 @@ struct Runner {
   explicit Runner(const ExperimentConfig& cfg)
       : cfg_(cfg), trace_(cfg.trace), meter_() {
     ClusterConfig cc = cfg.cluster;
+    // Phase annotations ride along whenever the trace is on: both are
+    // post-hoc observability inputs with the same cost profile.
+    if (cfg.trace) cc.phase_log = &phases_;
     cluster_ = std::make_unique<Cluster>(sim_, cc, stats_, trace_);
     meter_.set_warmup_until(SimTime::zero() + cfg.warmup);
     meter_.set_cutoff(SimTime::zero() + cfg.run_for);
@@ -90,6 +93,10 @@ struct Runner {
     r.coordinator_disk_busy = disk_busy;
     r.trace_hash = trace_.history_hash();
     r.stats = stats_;
+    if (cfg_.trace) {
+      r.trace_events = trace_.events();
+      r.phases = phases_;
+    }
     return r;
   }
 
@@ -97,6 +104,7 @@ struct Runner {
   Simulator sim_;
   StatsRegistry stats_;
   TraceRecorder trace_;
+  obs::PhaseLog phases_;
   ThroughputMeter meter_;
   std::unique_ptr<Cluster> cluster_;
   bool crash_toggle_ = false;

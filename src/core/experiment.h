@@ -9,7 +9,11 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "cluster/cluster.h"
+#include "obs/phase.h"
+#include "sim/trace.h"
 #include "workload/source.h"
 
 namespace opc {
@@ -47,6 +51,12 @@ struct ExperimentResult {
   std::string violation_report;
   bool serializable = true;
   double coordinator_disk_busy = 0.0;  // utilization of the hot log device
+
+  // Populated only when ExperimentConfig::trace is set: the raw event
+  // stream plus the engine phase side-channel, the inputs the span
+  // assembler (obs/assembler.h) and `opc trace` consume.
+  std::vector<TraceEvent> trace_events;
+  obs::PhaseLog phases;
 };
 
 /// The paper's evaluation parameters (§IV): 1 µs method compute, 100 µs

@@ -1,0 +1,24 @@
+// Span assembly: fold a recorded TraceEvent stream (plus the optional
+// PhaseLog side-channel) into the causal span forest described in
+// docs/OBSERVABILITY.md §2.
+//
+// Assembly is a pure post-hoc consumer: it never touches the simulation,
+// emits no events, and is deterministic — equal trace/phase inputs produce
+// byte-identical SpanSets (ids are creation-order, and creation order is
+// derived only from event order).
+#pragma once
+
+#include <vector>
+
+#include "obs/phase.h"
+#include "obs/span.h"
+#include "sim/trace.h"
+
+namespace opc::obs {
+
+/// Build the span forest.  `phases` may be null (trace-only assembly:
+/// roots, messages, lock waits, forces and marks, but no phase layer).
+[[nodiscard]] SpanSet assemble_spans(const std::vector<TraceEvent>& events,
+                                     const PhaseLog* phases = nullptr);
+
+}  // namespace opc::obs

@@ -1,0 +1,97 @@
+#include "obs/export_binary.h"
+
+#include <cstdint>
+
+namespace opc::obs {
+namespace {
+
+void put_uvarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out += static_cast<char>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  out += static_cast<char>(v);
+}
+
+bool get_uvarint(std::string_view& in, std::uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (!in.empty() && shift < 64) {
+    const auto b = static_cast<std::uint8_t>(in.front());
+    in.remove_prefix(1);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_uvarint(out, s.size());
+  out.append(s);
+}
+
+bool get_string(std::string_view& in, std::string& s) {
+  std::uint64_t n = 0;
+  if (!get_uvarint(in, n) || in.size() < n) return false;
+  s.assign(in.substr(0, n));
+  in.remove_prefix(n);
+  return true;
+}
+
+}  // namespace
+
+std::string encode_span_log(const SpanSet& set) {
+  std::string out;
+  out.reserve(32 + set.size() * 24);
+  out.append(kSpanLogMagic, sizeof(kSpanLogMagic));
+  out += static_cast<char>(kSpanLogVersion);
+  put_uvarint(out, set.size());
+  for (const Span& s : set.spans) {
+    put_uvarint(out, s.id);
+    put_uvarint(out, s.parent == kNoParent
+                         ? 0
+                         : static_cast<std::uint64_t>(s.parent) + 1);
+    put_uvarint(out, static_cast<std::uint64_t>(s.kind));
+    put_uvarint(out, s.txn);
+    put_uvarint(out, static_cast<std::uint64_t>(s.begin.count_nanos()));
+    put_uvarint(out, static_cast<std::uint64_t>(s.duration_ns()));
+    put_string(out, s.name);
+    put_string(out, s.actor);
+  }
+  return out;
+}
+
+bool decode_span_log(std::string_view bytes, SpanSet& out) {
+  out.spans.clear();
+  if (bytes.size() < 5 ||
+      bytes.compare(0, 4, kSpanLogMagic, 4) != 0 ||
+      static_cast<std::uint8_t>(bytes[4]) != kSpanLogVersion) {
+    return false;
+  }
+  bytes.remove_prefix(5);
+  std::uint64_t count = 0;
+  if (!get_uvarint(bytes, count)) return false;
+  out.spans.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0, parent = 0, kind = 0, txn = 0, begin = 0, dur = 0;
+    Span s;
+    if (!get_uvarint(bytes, id) || !get_uvarint(bytes, parent) ||
+        !get_uvarint(bytes, kind) || !get_uvarint(bytes, txn) ||
+        !get_uvarint(bytes, begin) || !get_uvarint(bytes, dur) ||
+        !get_string(bytes, s.name) || !get_string(bytes, s.actor)) {
+      return false;
+    }
+    s.id = static_cast<std::uint32_t>(id);
+    s.parent = parent == 0 ? kNoParent
+                           : static_cast<std::uint32_t>(parent - 1);
+    s.kind = static_cast<SpanKind>(kind);
+    s.txn = txn;
+    s.begin = SimTime::from_nanos(static_cast<std::int64_t>(begin));
+    s.end = SimTime::from_nanos(static_cast<std::int64_t>(begin + dur));
+    out.spans.push_back(std::move(s));
+  }
+  return bytes.empty();
+}
+
+}  // namespace opc::obs

@@ -1,0 +1,25 @@
+// Compact binary span log ("OPCS" format, docs/OBSERVABILITY.md §6).
+//
+// Layout: magic "OPCS", one version byte, uvarint span count, then per
+// span: uvarint id, parent+1 (0 = root), kind, txn, begin_ns, duration_ns,
+// and length-prefixed name and actor strings.  All integers are LEB128
+// unsigned varints; durations rather than end times keep the varints
+// short.  Roughly 10x smaller than the Chrome JSON for storm runs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/span.h"
+
+namespace opc::obs {
+
+inline constexpr char kSpanLogMagic[4] = {'O', 'P', 'C', 'S'};
+inline constexpr std::uint8_t kSpanLogVersion = 1;
+
+[[nodiscard]] std::string encode_span_log(const SpanSet& set);
+
+/// Strict decoder: false on bad magic/version or truncated input.
+[[nodiscard]] bool decode_span_log(std::string_view bytes, SpanSet& out);
+
+}  // namespace opc::obs

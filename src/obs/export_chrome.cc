@@ -1,0 +1,102 @@
+#include "obs/export_chrome.h"
+
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
+
+namespace opc::obs {
+namespace {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Simulated ns -> trace_event µs with three fractional digits, exact.
+std::string micros(std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const SpanSet& set) {
+  // Stable pid assignment: order of first appearance.
+  std::map<std::string, int> pids;
+  std::vector<std::string> pid_names;
+  auto pid_of = [&](const std::string& actor) {
+    auto [it, inserted] =
+        pids.try_emplace(actor, static_cast<int>(pids.size()) + 1);
+    if (inserted) pid_names.push_back(actor);
+    return it->second;
+  };
+  // Lane (tid) per (pid, txn), again by first appearance within the pid.
+  std::map<std::pair<int, std::uint64_t>, int> lanes;
+  std::map<int, int> lane_count;
+  auto lane_of = [&](int pid, std::uint64_t txn) {
+    auto [it, inserted] = lanes.try_emplace({pid, txn}, 0);
+    if (inserted) it->second = lane_count[pid]++;
+    return it->second;
+  };
+
+  std::string j = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Span& s : set.spans) {
+    const int pid = pid_of(s.actor.empty() ? std::string("?") : s.actor);
+    const int tid = lane_of(pid, s.txn);
+    if (!first) j += ",\n";
+    first = false;
+    const bool instant =
+        s.kind == SpanKind::kMark || s.duration_ns() == 0;
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "{\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":",
+                  instant ? "i" : "X", pid, tid);
+    j += head;
+    j += micros(s.begin.count_nanos());
+    if (!instant) {
+      j += ",\"dur\":";
+      j += micros(s.duration_ns());
+    } else {
+      j += ",\"s\":\"t\"";
+    }
+    j += ",\"name\":\"" + escape(s.name) + "\"";
+    j += ",\"cat\":\"" + std::string(span_kind_name(s.kind)) + "\"";
+    j += ",\"args\":{\"txn\":" + std::to_string(s.txn) +
+         ",\"span\":" + std::to_string(s.id) + "}}";
+  }
+  // Metadata: name the "processes" after their actors so the Perfetto
+  // track list reads mds0 / locks.mds0 / log.mds0 instead of pid numbers.
+  for (const std::string& actor : pid_names) {
+    if (!first) j += ",\n";
+    first = false;
+    j += "{\"ph\":\"M\",\"pid\":" + std::to_string(pids[actor]) +
+         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+         escape(actor) + "\"}}";
+  }
+  j += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return j;
+}
+
+}  // namespace opc::obs

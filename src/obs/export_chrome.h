@@ -1,0 +1,22 @@
+// Chrome trace_event JSON exporter (the "JSON Array Format" with complete
+// "X" events) — the output loads directly in Perfetto (ui.perfetto.dev)
+// and chrome://tracing.
+//
+// Mapping (docs/OBSERVABILITY.md §5):
+//   pid  = actor (one "process" per actor: mds0, locks.mds0, log.mds0 ...),
+//          named via process_name metadata events;
+//   tid  = transaction lane within the actor (txn-less spans share lane 0),
+//          so concurrent transactions stack instead of overlapping;
+//   ts/dur = simulated microseconds with fractional nanosecond digits;
+//   args = {txn, kind} for drill-down in the UI.
+#pragma once
+
+#include <string>
+
+#include "obs/span.h"
+
+namespace opc::obs {
+
+[[nodiscard]] std::string export_chrome_trace(const SpanSet& set);
+
+}  // namespace opc::obs

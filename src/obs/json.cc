@@ -1,0 +1,170 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace opc::obs {
+namespace {
+
+const JsonValue kNullValue{};
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // Our emitters never write \u escapes; decode permissively as
+            // a raw code unit truncated to a byte so parsing still works.
+            if (i + 4 > s.size()) return false;
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = s[i++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return false;
+            }
+            out += static_cast<char>(v & 0xff);
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (i >= s.size()) return false;
+    const char c = s[i];
+    if (c == '{') {
+      ++i;
+      out.type = JsonValue::Type::kObject;
+      skip_ws();
+      if (eat('}')) return true;
+      while (true) {
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!eat(':')) return false;
+        JsonValue v;
+        if (!parse_value(v)) return false;
+        out.object.emplace(std::move(key), std::move(v));
+        if (eat(',')) continue;
+        return eat('}');
+      }
+    }
+    if (c == '[') {
+      ++i;
+      out.type = JsonValue::Type::kArray;
+      skip_ws();
+      if (eat(']')) return true;
+      while (true) {
+        JsonValue v;
+        if (!parse_value(v)) return false;
+        out.array.push_back(std::move(v));
+        if (eat(',')) continue;
+        return eat(']');
+      }
+    }
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parse_string(out.str);
+    }
+    if (s.compare(i, 4, "true") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      i += 4;
+      return true;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      i += 5;
+      return true;
+    }
+    if (s.compare(i, 4, "null") == 0) {
+      out.type = JsonValue::Type::kNull;
+      i += 4;
+      return true;
+    }
+    // Number.
+    std::size_t j = i;
+    if (j < s.size() && (s[j] == '-' || s[j] == '+')) ++j;
+    while (j < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[j])) || s[j] == '.' ||
+            s[j] == 'e' || s[j] == 'E' || s[j] == '-' || s[j] == '+')) {
+      ++j;
+    }
+    if (j == i) return false;
+    const std::string num(s.substr(i, j - i));
+    char* endp = nullptr;
+    out.number = std::strtod(num.c_str(), &endp);
+    if (endp == nullptr || *endp != '\0') return false;
+    out.type = JsonValue::Type::kNumber;
+    i = j;
+    return true;
+  }
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  if (type == Type::kObject) {
+    if (auto it = object.find(std::string(key)); it != object.end()) {
+      return it->second;
+    }
+  }
+  return kNullValue;
+}
+
+bool json_parse(std::string_view text, JsonValue& out) {
+  Parser p{text};
+  if (!p.parse_value(out)) return false;
+  p.skip_ws();
+  return p.i == text.size();
+}
+
+}  // namespace opc::obs

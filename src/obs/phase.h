@@ -1,0 +1,98 @@
+// Engine phase annotations — the side-channel behind causal spans.
+//
+// The span assembler (obs/assembler.h) can derive message, lock-wait and
+// log-force intervals from the TraceEvent stream alone, but protocol
+// *phases* (lock acquisition, the update round, the vote round, the commit
+// force...) are engine-internal state transitions the trace deliberately
+// does not carry: every TraceEvent feeds the FNV determinism hash pinned in
+// tests/core/trace_golden_test.cc, so adding events would break the PR 2
+// contract.  Phase boundaries therefore go to this separate PhaseLog.
+//
+// The contract (versioned in docs/OBSERVABILITY.md §3):
+//   - Null by default.  AcpEngine holds a PhaseLog* that is nullptr unless
+//     a run opts in (ClusterConfig::phase_log); the hot path then pays one
+//     pointer compare and nothing else.
+//   - Never feeds TraceRecorder.  Equal seeds produce equal trace hashes
+//     whether or not a PhaseLog is attached.
+//   - Enter/leave events may be unbalanced on abort/crash paths; the
+//     assembler closes dangling enters at the transaction's end and drops
+//     leaves without a matching enter.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace opc::obs {
+
+/// Protocol phases annotated by src/acp/engine.cc.  Values are part of the
+/// documented observability contract; append only.
+enum class PhaseId : std::uint8_t {
+  // Coordinator side.
+  kLock,          // start_coordination -> all local locks granted
+  kStartForce,    // STARTED (+1PC redo) force submitted -> durable
+  kLocalUpdate,   // local method execution (modeled compute delay)
+  kUpdateRound,   // UPDATE_REQs out -> last UPDATED in
+  kVoteRound,     // PREPAREs out -> decision reached (PrN/PrC/PrA only)
+  kCommitForce,   // COMMITTED force submitted -> durable
+  kAckRound,      // decision round out -> last ACK in (PrN/PrA + aborts)
+  // Worker side.
+  kWorkerLock,          // UPDATE_REQ arrival -> all locks granted
+  kWorkerUpdate,        // worker method execution
+  kWorkerPrepareForce,  // worker PREPARED force submitted -> durable
+  kWorkerCommitForce,   // worker COMMITTED force submitted -> durable
+};
+
+inline constexpr std::size_t kPhaseCount = 11;
+
+/// Stable dotted name ("coord.lock", "worker.commit_force", ...); these
+/// strings appear verbatim in REPORT.json and docs/OBSERVABILITY.md.
+[[nodiscard]] constexpr std::string_view phase_name(PhaseId p) {
+  switch (p) {
+    case PhaseId::kLock: return "coord.lock";
+    case PhaseId::kStartForce: return "coord.start_force";
+    case PhaseId::kLocalUpdate: return "coord.local_update";
+    case PhaseId::kUpdateRound: return "coord.update_round";
+    case PhaseId::kVoteRound: return "coord.vote_round";
+    case PhaseId::kCommitForce: return "coord.commit_force";
+    case PhaseId::kAckRound: return "coord.ack_round";
+    case PhaseId::kWorkerLock: return "worker.lock";
+    case PhaseId::kWorkerUpdate: return "worker.update";
+    case PhaseId::kWorkerPrepareForce: return "worker.prepare_force";
+    case PhaseId::kWorkerCommitForce: return "worker.commit_force";
+  }
+  return "?";
+}
+
+/// One phase boundary crossing.
+struct PhaseEvent {
+  SimTime at;
+  NodeId node;
+  std::uint64_t txn = 0;
+  PhaseId phase = PhaseId::kLock;
+  bool enter = true;  // false = leave
+};
+
+/// Append-only log of phase boundary crossings, in simulated-time order.
+class PhaseLog {
+ public:
+  void log(SimTime at, NodeId node, std::uint64_t txn, PhaseId phase,
+           bool enter) {
+    events_.push_back({at, node, txn, phase, enter});
+  }
+
+  [[nodiscard]] const std::vector<PhaseEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<PhaseEvent> events_;
+};
+
+}  // namespace opc::obs

@@ -1,0 +1,413 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "obs/json.h"
+#include "stats/table.h"
+
+namespace opc::obs {
+namespace {
+
+// ---- deterministic formatting ----------------------------------------
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string fmt_hash(std::uint64_t h) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string q(std::string_view s) { return "\"" + escape(s) + "\""; }
+
+std::string pct(double a, double b) {
+  if (a == 0.0) return b == 0.0 ? "+0.0%" : "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", (b - a) / a * 100.0);
+  return buf;
+}
+
+std::string ns_human(std::int64_t ns) {
+  char buf[32];
+  if (ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  } else if (ns >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ns / 1e6);
+  } else if (ns >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns",
+                  static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+RunReport build_report(const ReportInputs& in) {
+  RunReport r;
+  r.meta = in.meta;
+  r.committed = in.committed;
+  r.aborted = in.aborted;
+  r.lost = in.lost;
+  r.ops_per_second = in.ops_per_second;
+  r.trace_hash = in.trace_hash;
+  r.faults = in.faults;
+
+  if (in.latency != nullptr && in.latency->count() > 0) {
+    r.latency_count = static_cast<std::int64_t>(in.latency->count());
+    r.latency_p50_ns = static_cast<std::int64_t>(in.latency->quantile(0.50));
+    r.latency_p95_ns = static_cast<std::int64_t>(in.latency->quantile(0.95));
+    r.latency_p99_ns = static_cast<std::int64_t>(in.latency->quantile(0.99));
+  }
+
+  if (in.stats != nullptr) {
+    for (const auto& [name, value] : in.stats->all()) {
+      r.counters.emplace(name, value);
+    }
+  }
+
+  if (in.spans != nullptr) {
+    const SpanSet& set = *in.spans;
+    r.span_count = static_cast<std::int64_t>(set.size());
+
+    std::map<std::string, PhaseBreakdownRow> agg;
+    for (const Span& s : set.spans) {
+      if (s.kind != SpanKind::kPhase) continue;
+      PhaseBreakdownRow& row = agg[s.name];
+      row.name = s.name;
+      row.count += 1;
+      row.total_ns += s.duration_ns();
+      row.max_ns = std::max(row.max_ns, s.duration_ns());
+    }
+    for (auto& [name, row] : agg) {
+      row.mean_ns = row.count > 0 ? row.total_ns / row.count : 0;
+      r.phases.push_back(row);
+    }
+
+    std::vector<const Span*> roots;
+    for (const Span& s : set.spans) {
+      if (s.kind == SpanKind::kTxn && s.parent == kNoParent) {
+        roots.push_back(&s);
+      }
+    }
+    r.txn_count = static_cast<std::int64_t>(roots.size());
+    std::sort(roots.begin(), roots.end(), [](const Span* a, const Span* b) {
+      if (a->duration_ns() != b->duration_ns()) {
+        return a->duration_ns() > b->duration_ns();
+      }
+      return a->txn < b->txn;
+    });
+    if (roots.size() > 10) roots.resize(10);
+    for (const Span* root : roots) {
+      SlowTxnRow row;
+      row.txn = root->txn;
+      row.name = root->name;
+      row.begin_ns = root->begin.count_nanos();
+      row.duration_ns = root->duration_ns();
+      for (const Span& s : set.spans) {
+        if (s.kind != SpanKind::kPhase || s.txn != root->txn) continue;
+        auto it = std::find_if(row.phases.begin(), row.phases.end(),
+                               [&s](const auto& p) {
+                                 return p.first == s.name;
+                               });
+        if (it == row.phases.end()) {
+          row.phases.emplace_back(s.name, s.duration_ns());
+        } else {
+          it->second += s.duration_ns();
+        }
+      }
+      r.slowest.push_back(std::move(row));
+    }
+  }
+  return r;
+}
+
+std::string report_to_json(const RunReport& r) {
+  std::string j;
+  j.reserve(4096);
+  j += "{\n";
+  j += "  \"schema\": " + std::to_string(kReportSchemaVersion) + ",\n";
+  j += "  \"meta\": {\n";
+  j += "    \"protocol\": " + q(r.meta.protocol) + ",\n";
+  j += "    \"workload\": " + q(r.meta.workload) + ",\n";
+  j += "    \"seed\": " + std::to_string(r.meta.seed) + ",\n";
+  j += "    \"nodes\": " + std::to_string(r.meta.nodes) + ",\n";
+  j += "    \"sim_duration_ns\": " + std::to_string(r.meta.sim_duration_ns) +
+       "\n  },\n";
+  j += "  \"outcome\": {\n";
+  j += "    \"committed\": " + std::to_string(r.committed) + ",\n";
+  j += "    \"aborted\": " + std::to_string(r.aborted) + ",\n";
+  j += "    \"lost\": " + std::to_string(r.lost) + ",\n";
+  j += "    \"ops_per_second\": " + fmt_double(r.ops_per_second) +
+       "\n  },\n";
+  j += "  \"latency\": {\n";
+  j += "    \"count\": " + std::to_string(r.latency_count) + ",\n";
+  j += "    \"p50_ns\": " + std::to_string(r.latency_p50_ns) + ",\n";
+  j += "    \"p95_ns\": " + std::to_string(r.latency_p95_ns) + ",\n";
+  j += "    \"p99_ns\": " + std::to_string(r.latency_p99_ns) + "\n  },\n";
+  j += "  \"trace\": {\n";
+  j += "    \"hash\": " + q(fmt_hash(r.trace_hash)) + ",\n";
+  j += "    \"spans\": " + std::to_string(r.span_count) + ",\n";
+  j += "    \"txns\": " + std::to_string(r.txn_count) + "\n  },\n";
+
+  j += "  \"phases\": [";
+  for (std::size_t i = 0; i < r.phases.size(); ++i) {
+    const PhaseBreakdownRow& p = r.phases[i];
+    j += i == 0 ? "\n" : ",\n";
+    j += "    {\"name\": " + q(p.name) +
+         ", \"count\": " + std::to_string(p.count) +
+         ", \"total_ns\": " + std::to_string(p.total_ns) +
+         ", \"mean_ns\": " + std::to_string(p.mean_ns) +
+         ", \"max_ns\": " + std::to_string(p.max_ns) + "}";
+  }
+  j += r.phases.empty() ? "],\n" : "\n  ],\n";
+
+  j += "  \"slowest\": [";
+  for (std::size_t i = 0; i < r.slowest.size(); ++i) {
+    const SlowTxnRow& s = r.slowest[i];
+    j += i == 0 ? "\n" : ",\n";
+    j += "    {\"txn\": " + std::to_string(s.txn) +
+         ", \"name\": " + q(s.name) +
+         ", \"begin_ns\": " + std::to_string(s.begin_ns) +
+         ", \"duration_ns\": " + std::to_string(s.duration_ns) +
+         ", \"phases\": [";
+    for (std::size_t k = 0; k < s.phases.size(); ++k) {
+      if (k != 0) j += ", ";
+      j += "[" + q(s.phases[k].first) + ", " +
+           std::to_string(s.phases[k].second) + "]";
+    }
+    j += "]}";
+  }
+  j += r.slowest.empty() ? "],\n" : "\n  ],\n";
+
+  j += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : r.counters) {
+    j += first ? "\n" : ",\n";
+    first = false;
+    j += "    " + q(name) + ": " + std::to_string(value);
+  }
+  j += r.counters.empty() ? "},\n" : "\n  },\n";
+
+  j += "  \"faults\": [";
+  for (std::size_t i = 0; i < r.faults.size(); ++i) {
+    j += i == 0 ? "\n" : ",\n";
+    j += "    " + q(r.faults[i]);
+  }
+  j += r.faults.empty() ? "]\n" : "\n  ]\n";
+  j += "}\n";
+  return j;
+}
+
+bool report_from_json(const std::string& text, RunReport& out) {
+  JsonValue root;
+  if (!json_parse(text, root) || !root.is_object()) return false;
+  out = RunReport{};
+  const JsonValue& meta = root["meta"];
+  out.meta.protocol = meta["protocol"].as_string();
+  out.meta.workload = meta["workload"].as_string();
+  out.meta.seed = static_cast<std::uint64_t>(meta["seed"].as_int());
+  out.meta.nodes = static_cast<int>(meta["nodes"].as_int());
+  out.meta.sim_duration_ns = meta["sim_duration_ns"].as_int();
+  const JsonValue& oc = root["outcome"];
+  out.committed = oc["committed"].as_int();
+  out.aborted = oc["aborted"].as_int();
+  out.lost = oc["lost"].as_int();
+  out.ops_per_second = oc["ops_per_second"].as_double();
+  const JsonValue& lat = root["latency"];
+  out.latency_count = lat["count"].as_int();
+  out.latency_p50_ns = lat["p50_ns"].as_int();
+  out.latency_p95_ns = lat["p95_ns"].as_int();
+  out.latency_p99_ns = lat["p99_ns"].as_int();
+  const JsonValue& tr = root["trace"];
+  out.trace_hash =
+      std::strtoull(tr["hash"].as_string().c_str(), nullptr, 16);
+  out.span_count = tr["spans"].as_int();
+  out.txn_count = tr["txns"].as_int();
+  for (const JsonValue& p : root["phases"].array) {
+    PhaseBreakdownRow row;
+    row.name = p["name"].as_string();
+    row.count = p["count"].as_int();
+    row.total_ns = p["total_ns"].as_int();
+    row.mean_ns = p["mean_ns"].as_int();
+    row.max_ns = p["max_ns"].as_int();
+    out.phases.push_back(std::move(row));
+  }
+  for (const JsonValue& s : root["slowest"].array) {
+    SlowTxnRow row;
+    row.txn = static_cast<std::uint64_t>(s["txn"].as_int());
+    row.name = s["name"].as_string();
+    row.begin_ns = s["begin_ns"].as_int();
+    row.duration_ns = s["duration_ns"].as_int();
+    for (const JsonValue& ph : s["phases"].array) {
+      if (ph.array.size() == 2) {
+        row.phases.emplace_back(ph.array[0].as_string(),
+                                ph.array[1].as_int());
+      }
+    }
+    out.slowest.push_back(std::move(row));
+  }
+  for (const auto& [name, v] : root["counters"].object) {
+    out.counters.emplace(name, v.as_int());
+  }
+  for (const JsonValue& f : root["faults"].array) {
+    out.faults.push_back(f.as_string());
+  }
+  return true;
+}
+
+std::string render_report_text(const RunReport& r) {
+  std::string out;
+  out += "run report: protocol=" + r.meta.protocol +
+         " workload=" + r.meta.workload +
+         " seed=" + std::to_string(r.meta.seed) +
+         " nodes=" + std::to_string(r.meta.nodes) +
+         " sim_time=" + ns_human(r.meta.sim_duration_ns) + "\n";
+  out += "outcome: committed=" + std::to_string(r.committed) +
+         " aborted=" + std::to_string(r.aborted) +
+         " lost=" + std::to_string(r.lost) +
+         " ops/s=" + fmt_double(r.ops_per_second) + "\n";
+  out += "latency: n=" + std::to_string(r.latency_count) +
+         " p50=" + ns_human(r.latency_p50_ns) +
+         " p95=" + ns_human(r.latency_p95_ns) +
+         " p99=" + ns_human(r.latency_p99_ns) + "\n";
+  out += "trace: hash=" + fmt_hash(r.trace_hash) +
+         " spans=" + std::to_string(r.span_count) +
+         " txns=" + std::to_string(r.txn_count) + "\n";
+  if (!r.faults.empty()) {
+    out += "faults:\n";
+    for (const std::string& f : r.faults) out += "  " + f + "\n";
+  }
+  if (!r.phases.empty()) {
+    TextTable t({"phase", "count", "total", "mean", "max"});
+    for (const PhaseBreakdownRow& p : r.phases) {
+      t.add_row({p.name, std::to_string(p.count), ns_human(p.total_ns),
+                 ns_human(p.mean_ns), ns_human(p.max_ns)});
+    }
+    out += "\nper-phase time breakdown\n" + t.render();
+  }
+  if (!r.slowest.empty()) {
+    TextTable t({"txn", "op", "begin", "duration", "top phases"});
+    for (const SlowTxnRow& s : r.slowest) {
+      std::vector<std::pair<std::string, std::int64_t>> ph = s.phases;
+      std::stable_sort(ph.begin(), ph.end(), [](const auto& a,
+                                                const auto& b) {
+        return a.second > b.second;
+      });
+      std::string top;
+      for (std::size_t i = 0; i < ph.size() && i < 3; ++i) {
+        if (i != 0) top += ", ";
+        top += ph[i].first + "=" + ns_human(ph[i].second);
+      }
+      t.add_row({std::to_string(s.txn), s.name, ns_human(s.begin_ns),
+                 ns_human(s.duration_ns), top});
+    }
+    out += "\nslowest transactions\n" + t.render();
+  }
+  return out;
+}
+
+std::string render_report_diff(const RunReport& a, const RunReport& b) {
+  std::string out;
+  out += "A: protocol=" + a.meta.protocol + " workload=" + a.meta.workload +
+         " seed=" + std::to_string(a.meta.seed) + "\n";
+  out += "B: protocol=" + b.meta.protocol + " workload=" + b.meta.workload +
+         " seed=" + std::to_string(b.meta.seed) + "\n\n";
+
+  TextTable t({"metric", "A", "B", "delta"});
+  auto row = [&t](const std::string& name, std::int64_t va,
+                  std::int64_t vb) {
+    t.add_row({name, std::to_string(va), std::to_string(vb),
+               pct(static_cast<double>(va), static_cast<double>(vb))});
+  };
+  t.add_row({"ops_per_second", fmt_double(a.ops_per_second),
+             fmt_double(b.ops_per_second),
+             pct(a.ops_per_second, b.ops_per_second)});
+  row("committed", a.committed, b.committed);
+  row("aborted", a.aborted, b.aborted);
+  row("lost", a.lost, b.lost);
+  row("latency.p50_ns", a.latency_p50_ns, b.latency_p50_ns);
+  row("latency.p95_ns", a.latency_p95_ns, b.latency_p95_ns);
+  row("latency.p99_ns", a.latency_p99_ns, b.latency_p99_ns);
+  row("spans", a.span_count, b.span_count);
+  row("txns", a.txn_count, b.txn_count);
+  out += t.render();
+
+  // Phase totals, union of names (A-order first, then B-only names).
+  std::vector<std::string> names;
+  auto seen = [&names](const std::string& n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  for (const auto& p : a.phases) names.push_back(p.name);
+  for (const auto& p : b.phases) {
+    if (!seen(p.name)) names.push_back(p.name);
+  }
+  if (!names.empty()) {
+    TextTable pt({"phase", "A total", "B total", "delta"});
+    auto total = [](const RunReport& r,
+                    const std::string& n) -> std::int64_t {
+      for (const auto& p : r.phases) {
+        if (p.name == n) return p.total_ns;
+      }
+      return 0;
+    };
+    for (const std::string& n : names) {
+      const std::int64_t va = total(a, n), vb = total(b, n);
+      pt.add_row({n, ns_human(va), ns_human(vb),
+                  pct(static_cast<double>(va), static_cast<double>(vb))});
+    }
+    out += "\nper-phase totals\n" + pt.render();
+  }
+
+  // Counters that differ.
+  TextTable ct({"counter", "A", "B"});
+  for (const auto& [name, va] : a.counters) {
+    auto it = b.counters.find(name);
+    const std::int64_t vb = it == b.counters.end() ? 0 : it->second;
+    if (va != vb) {
+      ct.add_row({name, std::to_string(va), std::to_string(vb)});
+    }
+  }
+  for (const auto& [name, vb] : b.counters) {
+    if (a.counters.find(name) == a.counters.end() && vb != 0) {
+      ct.add_row({name, "0", std::to_string(vb)});
+    }
+  }
+  if (ct.rows() > 0) out += "\ncounters that differ\n" + ct.render();
+  return out;
+}
+
+}  // namespace opc::obs

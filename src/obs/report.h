@@ -1,0 +1,101 @@
+// End-of-run RunReport: the join of span-derived timing breakdowns with
+// the StatsRegistry counters and latency Histogram percentiles, plus run
+// metadata (and, for chaos runs, the injected fault schedule).
+//
+// REPORT.json — the serialized form — is a versioned, documented contract
+// (docs/OBSERVABILITY.md §4, kReportSchemaVersion here).  Serialization is
+// fully deterministic: object keys in fixed order, counters sorted by
+// name, integer nanoseconds, doubles printed with fixed %.3f precision,
+// and no wall-clock anywhere — equal (config, seed) runs must produce
+// byte-identical files (pinned by tests/obs/report_golden_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/span.h"
+#include "stats/counters.h"
+#include "stats/histogram.h"
+
+namespace opc::obs {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+struct ReportMeta {
+  std::string protocol;  // "prn" | "prc" | "ep" | "1pc" | "pra" | mixed
+  std::string workload;  // "storm", "create", "chaos", ...
+  std::uint64_t seed = 0;
+  int nodes = 0;
+  std::int64_t sim_duration_ns = 0;
+};
+
+struct PhaseBreakdownRow {
+  std::string name;  // phase_name() string
+  std::int64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t mean_ns = 0;
+  std::int64_t max_ns = 0;
+};
+
+struct SlowTxnRow {
+  std::uint64_t txn = 0;
+  std::string name;
+  std::int64_t begin_ns = 0;
+  std::int64_t duration_ns = 0;
+  // Per-phase time within this transaction, in phase enter order.
+  std::vector<std::pair<std::string, std::int64_t>> phases;
+};
+
+struct RunReport {
+  ReportMeta meta;
+  std::int64_t committed = 0;
+  std::int64_t aborted = 0;
+  std::int64_t lost = 0;
+  double ops_per_second = 0.0;
+  std::int64_t latency_count = 0;
+  std::int64_t latency_p50_ns = 0;
+  std::int64_t latency_p95_ns = 0;
+  std::int64_t latency_p99_ns = 0;
+  std::uint64_t trace_hash = 0;
+  std::int64_t span_count = 0;
+  std::int64_t txn_count = 0;
+  std::vector<PhaseBreakdownRow> phases;  // sorted by name
+  std::vector<SlowTxnRow> slowest;        // top 10 by duration desc
+  std::map<std::string, std::int64_t> counters;
+  std::vector<std::string> faults;  // rendered chaos schedule lines
+};
+
+/// Everything build_report needs; non-owning.  `spans`, `stats` and
+/// `latency` may each be null (the corresponding sections come out empty).
+struct ReportInputs {
+  ReportMeta meta;
+  const SpanSet* spans = nullptr;
+  const StatsRegistry* stats = nullptr;
+  const Histogram* latency = nullptr;
+  std::int64_t committed = 0;
+  std::int64_t aborted = 0;
+  std::int64_t lost = 0;
+  double ops_per_second = 0.0;
+  std::uint64_t trace_hash = 0;
+  std::vector<std::string> faults;
+};
+
+[[nodiscard]] RunReport build_report(const ReportInputs& in);
+
+/// Deterministic REPORT.json (see header comment for the guarantees).
+[[nodiscard]] std::string report_to_json(const RunReport& r);
+
+/// Inverse of report_to_json (tolerant of missing optional sections).
+[[nodiscard]] bool report_from_json(const std::string& text, RunReport& out);
+
+/// Human-readable multi-section rendering for `opc trace report`.
+[[nodiscard]] std::string render_report_text(const RunReport& r);
+
+/// Side-by-side comparison for `opc trace diff A.json B.json`.
+[[nodiscard]] std::string render_report_diff(const RunReport& a,
+                                             const RunReport& b);
+
+}  // namespace opc::obs

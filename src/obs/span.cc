@@ -1,0 +1,56 @@
+#include "obs/span.h"
+
+#include <string>
+
+namespace opc::obs {
+
+std::vector<std::uint32_t> SpanSet::roots() const {
+  std::vector<std::uint32_t> out;
+  for (const Span& s : spans) {
+    if (s.parent == kNoParent && s.kind == SpanKind::kTxn) {
+      out.push_back(s.id);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> validate_spans(const SpanSet& set) {
+  std::vector<std::string> bad;
+  auto note = [&bad](std::string msg) { bad.push_back(std::move(msg)); };
+  for (std::size_t i = 0; i < set.spans.size(); ++i) {
+    const Span& s = set.spans[i];
+    if (s.id != i) {
+      note("span " + std::to_string(i) + ": id mismatch (" +
+           std::to_string(s.id) + ")");
+    }
+    if (s.end.count_nanos() < s.begin.count_nanos()) {
+      note("span " + std::to_string(i) + " '" + s.name +
+           "': negative interval");
+    }
+    if (s.parent == kNoParent) continue;
+    if (s.parent >= set.spans.size()) {
+      note("span " + std::to_string(i) + " '" + s.name +
+           "': dangling parent " + std::to_string(s.parent));
+      continue;
+    }
+    if (s.parent >= i) {
+      // Assembler emits parents before children; equality would be a
+      // self-loop.  Either way the forest ordering invariant is broken.
+      note("span " + std::to_string(i) + " '" + s.name +
+           "': parent does not precede child");
+      continue;
+    }
+    const Span& p = set.spans[s.parent];
+    if (s.begin.count_nanos() < p.begin.count_nanos() || s.end.count_nanos() > p.end.count_nanos()) {
+      note("span " + std::to_string(i) + " '" + s.name +
+           "': interval escapes parent '" + p.name + "'");
+    }
+    if (s.txn != 0 && p.txn != 0 && s.txn != p.txn) {
+      note("span " + std::to_string(i) + " '" + s.name +
+           "': txn differs from parent");
+    }
+  }
+  return bad;
+}
+
+}  // namespace opc::obs

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -16,25 +17,39 @@ namespace opc {
 
 class StatsRegistry {
  public:
+  /// Map with a transparent comparator so string_view lookups never build a
+  /// temporary std::string — counter bumps on the protocol hot path stay
+  /// allocation-free once a counter exists (asserted by the bench smoke).
+  using CounterMap = std::map<std::string, std::int64_t, std::less<>>;
+
   /// Adds `delta` to the named counter, creating it at zero if absent.
+  /// Allocates only on the first touch of a name.
   void add(std::string_view name, std::int64_t delta = 1) {
-    counters_[std::string(name)] += delta;
+    if (auto it = counters_.find(name); it != counters_.end()) {
+      it->second += delta;
+      return;
+    }
+    counters_.emplace(std::string(name), delta);
   }
 
   /// Current value; zero for counters never touched.
   [[nodiscard]] std::int64_t get(std::string_view name) const {
-    auto it = counters_.find(std::string(name));
+    auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
   /// Sets a counter to an absolute value (used for gauges).
   void set(std::string_view name, std::int64_t value) {
-    counters_[std::string(name)] = value;
+    if (auto it = counters_.find(name); it != counters_.end()) {
+      it->second = value;
+      return;
+    }
+    counters_.emplace(std::string(name), value);
   }
 
   /// All counters, sorted by name (std::map keeps them ordered), which makes
   /// dumps deterministic.
-  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const {
+  [[nodiscard]] const CounterMap& all() const {
     return counters_;
   }
 
@@ -49,7 +64,7 @@ class StatsRegistry {
   [[nodiscard]] std::string dump() const;
 
  private:
-  std::map<std::string, std::int64_t> counters_;
+  CounterMap counters_;
 };
 
 }  // namespace opc

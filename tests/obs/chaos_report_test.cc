@@ -1,0 +1,90 @@
+// Chaos-run reports: the observability overload of run_schedule must
+// attach the injected fault schedule to the RunReport, produce a
+// well-formed report, and change nothing about the simulation itself
+// (identical trace hash with and without the report).
+#include <gtest/gtest.h>
+
+#include "chaos/runner.h"
+#include "obs/report.h"
+
+namespace opc {
+namespace {
+
+FaultSchedule one_crash_schedule() {
+  FaultSchedule s;
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.node = NodeId(1);
+  crash.at = Duration::seconds(2);
+  crash.duration = Duration::millis(500);  // reboot after 500 ms
+  s.events.push_back(crash);
+  return s;
+}
+
+ChaosRunConfig small_config() {
+  ChaosRunConfig cfg;
+  cfg.protocol = ProtocolKind::kOnePC;
+  cfg.n_nodes = 3;
+  cfg.seed = 7;
+  cfg.concurrency = 4;
+  cfg.n_dirs = 2;
+  cfg.run_for = Duration::seconds(4);
+  return cfg;
+}
+
+TEST(ChaosReport, RecordsInjectedFaults) {
+  const ChaosRunConfig cfg = small_config();
+  const FaultSchedule schedule = one_crash_schedule();
+  obs::RunReport report;
+  const ChaosRunResult r = run_schedule(cfg, schedule, &report);
+
+  ASSERT_TRUE(r.passed) << "checkers failed on a plain crash schedule";
+  ASSERT_FALSE(report.faults.empty());
+  // The report carries exactly the rendered schedule lines, so a report
+  // file is enough to reconstruct what went wrong during the run.
+  std::string rendered;
+  for (const std::string& line : report.faults) rendered += line + "\n";
+  EXPECT_EQ(rendered, render_schedule(schedule));
+  EXPECT_NE(report.faults[0].find("crash"), std::string::npos);
+
+  EXPECT_EQ(report.meta.workload, "chaos");
+  EXPECT_EQ(report.meta.protocol, "1PC");
+  EXPECT_EQ(report.meta.seed, cfg.seed);
+  EXPECT_EQ(report.meta.nodes, 3);
+  EXPECT_EQ(report.trace_hash, r.trace_hash);
+  EXPECT_EQ(report.committed, static_cast<std::int64_t>(r.committed));
+  EXPECT_GT(report.span_count, 0);
+  // At least the injected crash (STONITH may re-down the victim during
+  // the drain, so the exact count is not pinned here).
+  ASSERT_GT(report.counters.count("cluster.crashes"), 0u);
+  EXPECT_GE(report.counters.at("cluster.crashes"), 1);
+}
+
+TEST(ChaosReport, ReportPathDoesNotPerturbTheRun) {
+  const ChaosRunConfig cfg = small_config();
+  const FaultSchedule schedule = one_crash_schedule();
+  obs::RunReport report;
+  const ChaosRunResult with_report = run_schedule(cfg, schedule, &report);
+  const ChaosRunResult without = run_schedule(cfg, schedule);
+  // The observability side-channel must be invisible to the simulation:
+  // byte-identical history either way.
+  EXPECT_EQ(with_report.trace_hash, without.trace_hash);
+  EXPECT_EQ(with_report.committed, without.committed);
+  EXPECT_EQ(with_report.aborted, without.aborted);
+}
+
+TEST(ChaosReport, FaultFreeScheduleYieldsEmptyFaultList) {
+  ChaosRunConfig cfg = small_config();
+  cfg.run_for = Duration::seconds(2);
+  obs::RunReport report;
+  const ChaosRunResult r = run_schedule(cfg, FaultSchedule{}, &report);
+  ASSERT_TRUE(r.passed);
+  EXPECT_TRUE(report.faults.empty());
+  // And the faults section round-trips as absent through the JSON form.
+  obs::RunReport parsed;
+  ASSERT_TRUE(obs::report_from_json(obs::report_to_json(report), parsed));
+  EXPECT_TRUE(parsed.faults.empty());
+}
+
+}  // namespace
+}  // namespace opc

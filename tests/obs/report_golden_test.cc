@@ -1,0 +1,162 @@
+// Golden REPORT.json files: one seeded 2-MDS distributed CREATE per
+// protocol, rendered through the full observability pipeline (trace +
+// phase log -> spans -> RunReport -> JSON) and byte-compared against the
+// committed goldens in tests/obs/golden/.
+//
+// These pin the REPORT.json *contract* (docs/OBSERVABILITY.md §4): any
+// schema change — key order, precision, a new section — fails here and
+// must bump kReportSchemaVersion plus regenerate the goldens with
+//   OPC_UPDATE_GOLDENS=1 ctest -R ReportGolden
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "mds/namespace.h"
+#include "obs/assembler.h"
+#include "obs/report.h"
+
+namespace opc {
+namespace {
+
+struct SingleCreateRun {
+  obs::SpanSet spans;
+  obs::RunReport report;
+  std::string json;
+};
+
+/// The timeline scenario (core/timeline.cc): two MDSs, paper §IV device
+/// parameters, one distributed CREATE — fully deterministic.
+SingleCreateRun run_single_create(ProtocolKind proto) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(true);
+  obs::PhaseLog phases;
+
+  ClusterConfig cc;
+  cc.n_nodes = 2;
+  cc.protocol = proto;
+  cc.net.latency = Duration::micros(100);
+  cc.disk.bytes_per_second = 400.0 * 1024.0;
+  cc.wal.force_pad_to = 8192;
+  cc.phase_log = &phases;
+  Cluster cluster(sim, cc, stats, trace);
+
+  IdAllocator ids;
+  const ObjectId dir = ids.next();
+  PinnedPartitioner part(2, NodeId(1));
+  part.assign(dir, NodeId(0));
+  cluster.bootstrap_directory(dir, NodeId(0));
+  NamespacePlanner planner(part, OpCosts{});
+
+  int committed = 0;
+  cluster.submit(planner.plan_create(dir, "paper.dat", ids.next(), false),
+                 [&](TxnId, TxnOutcome outcome) {
+                   if (outcome == TxnOutcome::kCommitted) ++committed;
+                 });
+  sim.run();
+
+  SingleCreateRun out;
+  out.spans = obs::assemble_spans(trace.events(), &phases);
+
+  Histogram latency;
+  for (std::uint32_t i = 0; i < cluster.size(); ++i) {
+    latency.merge(cluster.engine(NodeId(i)).client_latency());
+  }
+  obs::ReportInputs in;
+  in.meta.protocol = std::string(protocol_name(proto));
+  in.meta.workload = "create";
+  in.meta.seed = cc.seed;
+  in.meta.nodes = 2;
+  in.meta.sim_duration_ns = sim.now().count_nanos();
+  in.spans = &out.spans;
+  in.stats = &stats;
+  in.latency = &latency;
+  in.committed = committed;
+  in.trace_hash = trace.history_hash();
+  out.report = obs::build_report(in);
+  out.json = obs::report_to_json(out.report);
+  return out;
+}
+
+std::string golden_path(ProtocolKind proto) {
+  return std::string(OPC_GOLDEN_DIR) + "/REPORT_" +
+         std::string(protocol_name(proto)) + ".json";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+class ReportGoldenTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ReportGoldenTest, MatchesCommittedGolden) {
+  const ProtocolKind proto = GetParam();
+  const SingleCreateRun run = run_single_create(proto);
+  ASSERT_EQ(run.report.committed, 1);
+  ASSERT_GT(run.report.span_count, 0);
+  EXPECT_EQ(run.report.txn_count, 1);
+
+  const std::string path = golden_path(proto);
+  if (std::getenv("OPC_UPDATE_GOLDENS") != nullptr) {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << "cannot write golden " << path;
+    std::fwrite(run.json.data(), 1, run.json.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "golden regenerated: " << path;
+  }
+
+  std::string expected;
+  ASSERT_TRUE(read_file(path, expected))
+      << "missing golden " << path
+      << " — regenerate with OPC_UPDATE_GOLDENS=1";
+  EXPECT_EQ(run.json, expected)
+      << "REPORT.json drifted from the committed golden for "
+      << protocol_name(proto)
+      << "; if the schema change is intentional, bump kReportSchemaVersion, "
+         "update docs/OBSERVABILITY.md §4 and regenerate with "
+         "OPC_UPDATE_GOLDENS=1";
+}
+
+TEST_P(ReportGoldenTest, ByteIdenticalAcrossRepeatedRuns) {
+  const SingleCreateRun a = run_single_create(GetParam());
+  const SingleCreateRun b = run_single_create(GetParam());
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.report.trace_hash, b.report.trace_hash);
+}
+
+TEST_P(ReportGoldenTest, JsonRoundTripsThroughParser) {
+  const SingleCreateRun run = run_single_create(GetParam());
+  obs::RunReport parsed;
+  ASSERT_TRUE(obs::report_from_json(run.json, parsed));
+  // Re-serializing the parsed report must reproduce the exact bytes: the
+  // parser reads every field the serializer writes.
+  EXPECT_EQ(obs::report_to_json(parsed), run.json);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ReportGoldenTest,
+                         ::testing::Values(ProtocolKind::kPrN,
+                                           ProtocolKind::kPrC,
+                                           ProtocolKind::kEP,
+                                           ProtocolKind::kOnePC),
+                         [](const auto& info) {
+                           // "1PC" is not a valid gtest identifier.
+                           switch (info.param) {
+                             case ProtocolKind::kPrN: return std::string("PrN");
+                             case ProtocolKind::kPrC: return std::string("PrC");
+                             case ProtocolKind::kEP: return std::string("EP");
+                             default: return std::string("OnePC");
+                           }
+                         });
+
+}  // namespace
+}  // namespace opc

@@ -23,6 +23,10 @@
 #include "core/experiment.h"
 #include "core/sweep.h"
 #include "core/timeline.h"
+#include "obs/assembler.h"
+#include "obs/export_binary.h"
+#include "obs/export_chrome.h"
+#include "obs/report.h"
 #include "report/bench_report.h"
 #include "stats/table.h"
 
@@ -38,9 +42,12 @@ class Args {
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc;) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
-        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
-        ok_ = false;
-        return;
+        // Bare tokens are positional operands (e.g. the output file of
+        // `opc trace --export chrome out.json`, or the two inputs of
+        // `opc trace diff A.json B.json`).
+        pos_.emplace_back(argv[i]);
+        i += 1;
+        continue;
       }
       // `--flag value` consumes two arguments; a `--flag` followed by
       // another `--flag` (or nothing) is boolean (e.g. --csv --smoke).
@@ -73,9 +80,13 @@ class Args {
     auto it = kv_.find(key);
     return it != kv_.end() && it->second != "false" && it->second != "0";
   }
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return pos_;
+  }
 
  private:
   std::map<std::string, std::string> kv_;
+  std::vector<std::string> pos_;
   bool ok_ = true;
 };
 
@@ -374,6 +385,187 @@ int cmd_chaos(const Args& a) {
   return 1;
 }
 
+// ---------------------------------------------------------------------------
+// opc trace — span assembly, exporters, run reports (docs/OBSERVABILITY.md).
+// ---------------------------------------------------------------------------
+
+bool read_file(const std::string& path, std::string& out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof(buf), f)) > 0;) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& data) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+struct TracedStorm {
+  ProtocolKind proto = ProtocolKind::kOnePC;
+  ExperimentResult result;
+  obs::SpanSet spans;
+  obs::RunReport report;
+};
+
+/// One traced seeded create storm: run, assemble spans, build the report.
+/// Takes the same cluster/workload flags as `opc storm`, but defaults to a
+/// short window — tracing keeps every event in memory.
+bool run_traced_storm(const Args& a, TracedStorm& out) {
+  std::vector<ProtocolKind> protos;
+  if (!parse_protocols(a.str("proto", "1pc"), protos) || protos.size() != 1) {
+    std::fprintf(stderr, "trace needs one --proto (prn|prc|ep|1pc|pra)\n");
+    return false;
+  }
+  out.proto = protos[0];
+  ExperimentConfig cfg = config_from_args(a, out.proto);
+  if (a.num("seconds", -1) < 0) {
+    cfg.run_for = Duration::seconds(2);
+    cfg.warmup = Duration::seconds(1);
+  }
+  cfg.trace = true;
+  out.result = run_create_storm(cfg);
+  out.spans = obs::assemble_spans(out.result.trace_events, &out.result.phases);
+
+  obs::ReportInputs in;
+  in.meta.protocol = std::string(protocol_name(out.proto));
+  in.meta.workload = "create_storm";
+  in.meta.seed = cfg.cluster.seed;
+  in.meta.nodes = static_cast<int>(cfg.cluster.n_nodes);
+  in.meta.sim_duration_ns = (cfg.warmup + cfg.run_for).count_nanos();
+  in.spans = &out.spans;
+  in.stats = &out.result.stats;
+  in.latency = &out.result.latency;
+  in.committed = static_cast<std::int64_t>(out.result.committed);
+  in.aborted = static_cast<std::int64_t>(out.result.aborted);
+  in.lost = static_cast<std::int64_t>(out.result.lost);
+  in.ops_per_second = out.result.ops_per_second;
+  in.trace_hash = out.result.trace_hash;
+  out.report = obs::build_report(in);
+  return true;
+}
+
+int trace_diff(const std::string& path_a, const std::string& path_b) {
+  std::string text_a, text_b;
+  if (!read_file(path_a, text_a) || !read_file(path_b, text_b)) return 2;
+  obs::RunReport ra, rb;
+  if (!obs::report_from_json(text_a, ra)) {
+    std::fprintf(stderr, "malformed report '%s'\n", path_a.c_str());
+    return 2;
+  }
+  if (!obs::report_from_json(text_b, rb)) {
+    std::fprintf(stderr, "malformed report '%s'\n", path_b.c_str());
+    return 2;
+  }
+  std::fputs(obs::render_report_diff(ra, rb).c_str(), stdout);
+  return 0;
+}
+
+int cmd_trace(const Args& a) {
+  const std::vector<std::string>& pos = a.positionals();
+  const std::string action = pos.empty() ? "" : pos[0];
+
+  if (action == "diff") {
+    if (pos.size() != 3) {
+      std::fprintf(stderr, "usage: opc trace diff A.json B.json\n");
+      return 2;
+    }
+    return trace_diff(pos[1], pos[2]);
+  }
+
+  const std::string exp = a.str("export", "");
+  if (!exp.empty()) {
+    if (exp != "chrome" && exp != "spans") {
+      std::fprintf(stderr, "unknown --export format (chrome|spans)\n");
+      return 2;
+    }
+    // With --export, the positional (if any) is the output path.
+    const std::string out_path =
+        !pos.empty() ? pos[0] : (exp == "chrome" ? "trace.json" : "spans.bin");
+    TracedStorm run;
+    if (!run_traced_storm(a, run)) return 2;
+    const std::string data = exp == "chrome"
+                                 ? obs::export_chrome_trace(run.spans)
+                                 : obs::encode_span_log(run.spans);
+    if (!write_file(out_path, data)) return 2;
+    std::printf("wrote %s (%zu spans, %zu bytes)\n", out_path.c_str(),
+                run.spans.size(), data.size());
+    return 0;
+  }
+
+  if (!action.empty() && action != "report" && action != "top" &&
+      action != "phases") {
+    std::fprintf(stderr,
+                 "usage: opc trace [report|top|phases|diff A.json B.json] "
+                 "[--export chrome|spans OUT] [--proto P] [--seconds N] "
+                 "[--json FILE] [--n N]\n");
+    return 2;
+  }
+
+  TracedStorm run;
+  if (!run_traced_storm(a, run)) return 2;
+
+  if (action == "top") {
+    const auto n = static_cast<std::size_t>(a.num("n", 10));
+    TextTable table({"txn", "op", "begin_ms", "duration_ms",
+                     "slowest phases"});
+    std::size_t shown = 0;
+    for (const obs::SlowTxnRow& row : run.report.slowest) {
+      if (shown++ >= n) break;
+      std::string phases;
+      std::size_t count = 0;
+      for (const auto& [name, ns] : row.phases) {
+        if (count++ >= 3) break;
+        if (!phases.empty()) phases += ", ";
+        phases += name + "=" + TextTable::num(
+                                   static_cast<double>(ns) / 1e6, 3) + "ms";
+      }
+      table.add_row({std::to_string(row.txn), row.name,
+                     TextTable::num(static_cast<double>(row.begin_ns) / 1e6,
+                                    3),
+                     TextTable::num(
+                         static_cast<double>(row.duration_ns) / 1e6, 3),
+                     phases});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+  }
+
+  if (action == "phases") {
+    TextTable table({"phase", "count", "total_ns", "mean_ns", "max_ns"});
+    for (const obs::PhaseBreakdownRow& row : run.report.phases) {
+      table.add_row({row.name, std::to_string(row.count),
+                     std::to_string(row.total_ns),
+                     std::to_string(row.mean_ns),
+                     std::to_string(row.max_ns)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+  }
+
+  // Default action: full report text, optional REPORT.json.
+  std::fputs(obs::render_report_text(run.report).c_str(), stdout);
+  const std::string json_path = a.str("json", "");
+  if (!json_path.empty()) {
+    if (!write_file(json_path, obs::report_to_json(run.report))) return 2;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_bench(const Args& a) {
   benchreport::ReportOptions opt;
   opt.smoke = a.flag("smoke");
@@ -431,6 +623,8 @@ int cmd_help() {
       "  bench     kernel benchmark report (--json BENCH_kernel.json,\n"
       "            --smoke for a single quick pass); compare against\n"
       "            bench/baselines/ with tools/bench_diff.py\n"
+      "  trace     traced storm -> causal spans + run report\n"
+      "            (docs/OBSERVABILITY.md)\n"
       "  timeline  message/log-write chart of one CREATE (Figs. 2-5)\n"
       "  table1    per-protocol cost counters (Table I, + PrA extension)\n"
       "  help      this text\n"
@@ -459,7 +653,15 @@ int cmd_help() {
       "  --seconds 8        workload window per schedule\n"
       "  --bug              inject the skip-fencing bug (oracle demo)\n"
       "  --out chaos.repro  minimal-repro output file on failure\n"
-      "  --replay FILE      re-run one repro file deterministically\n");
+      "  --replay FILE      re-run one repro file deterministically\n"
+      "\n"
+      "trace actions (seeded 2 s storm unless --seconds given):\n"
+      "  trace report [--json REPORT.json]   full run report\n"
+      "  trace top [--n 10]                  slowest transactions\n"
+      "  trace phases                        per-phase time breakdown\n"
+      "  trace diff A.json B.json            compare two REPORT.json files\n"
+      "  trace --export chrome out.json      Perfetto/chrome trace_event\n"
+      "  trace --export spans out.bin        compact binary span log\n");
   return 0;
 }
 
@@ -476,6 +678,7 @@ int main(int argc, char** argv) {
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "bench") return cmd_bench(args);
+  if (cmd == "trace") return cmd_trace(args);
   if (cmd == "timeline") return cmd_timeline(args);
   if (cmd == "table1") return cmd_table1();
   return cmd_help();
