@@ -46,7 +46,7 @@ Point measure(ProtocolKind proto, double rate, bool smoke) {
   meter.set_warmup_until(SimTime::zero() + warmup);
   meter.set_cutoff(SimTime::zero() + run);
 
-  OpenLoopCreateSource source(sim, cluster, rate, meter, stats, planner, ids,
+  OpenLoopCreateSource source(cluster.env(), cluster, rate, meter, stats, planner, ids,
                               dir, /*seed=*/7);
   source.start(SimTime::zero() + run);
   // Drain: give in-flight operations one more latency budget to finish.

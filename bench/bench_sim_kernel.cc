@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "env/sim_env.h"
 #include "lock/lock_manager.h"
 #include "mds/namespace.h"
 #include "sim/simulator.h"
@@ -69,9 +70,10 @@ BENCHMARK(BM_RecordEncodeDecode);
 
 void BM_LockAcquireRelease(benchmark::State& state) {
   Simulator sim;
+  SimEnv env(sim);
   StatsRegistry stats;
   TraceRecorder trace(false);
-  LockManager lm(sim, "bench", stats, trace);
+  LockManager lm(env, "bench", stats, trace);
   std::uint64_t txn = 1;
   for (auto _ : state) {
     lm.acquire(txn, txn % 64, LockMode::kExclusive, [] {});
@@ -131,7 +133,7 @@ void BM_SimulatedSecondOfStorm(benchmark::State& state) {
     ThroughputMeter meter;
     SourceConfig scfg;
     scfg.concurrency = 100;
-    CreateStormSource source(sim, cluster, scfg, meter, stats, planner, ids,
+    CreateStormSource source(cluster.env(), cluster, scfg, meter, stats, planner, ids,
                              dir);
     source.start();
     state.ResumeTiming();

@@ -100,7 +100,7 @@ std::uint64_t fig6_storm_pass(double sim_seconds, double* out_sim_ops) {
   ThroughputMeter meter;
   SourceConfig scfg;
   scfg.concurrency = 100;
-  CreateStormSource source(sim, cluster, scfg, meter, stats, planner, ids,
+  CreateStormSource source(cluster.env(), cluster, scfg, meter, stats, planner, ids,
                            dir);
   source.start();
   const Duration window = Duration::from_seconds_f(sim_seconds);
@@ -153,7 +153,7 @@ std::vector<PhaseBreakdownSample> storm_phase_breakdown(double sim_seconds) {
   ThroughputMeter meter;
   SourceConfig scfg;
   scfg.concurrency = 100;
-  CreateStormSource source(sim, cluster, scfg, meter, stats, planner, ids,
+  CreateStormSource source(cluster.env(), cluster, scfg, meter, stats, planner, ids,
                            dir);
   source.start();
   sim.run_until(SimTime::zero() + Duration::from_seconds_f(sim_seconds));

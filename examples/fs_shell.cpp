@@ -33,7 +33,7 @@ struct Shell {
     planner = std::make_unique<NamespacePlanner>(*part, OpCosts{});
     root = ids.next();
     cluster->bootstrap_directory(root, part->home_of(root));
-    fs = std::make_unique<FsClient>(sim, *cluster, *planner, ids, root,
+    fs = std::make_unique<FsClient>(cluster->env(), *cluster, *planner, ids, root,
                                     NodeId(10));
   }
 

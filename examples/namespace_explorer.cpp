@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   SourceConfig scfg;
   scfg.concurrency = 8;
   scfg.max_ops = total_ops;
-  MixedSource source(sim, cluster, scfg, meter, stats, planner, ids, dirs,
+  MixedSource source(cluster.env(), cluster, scfg, meter, stats, planner, ids, dirs,
                      MixedSource::Mix{0.55, 0.30}, seed);
   source.start();
   sim.run();

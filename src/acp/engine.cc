@@ -7,13 +7,13 @@
 
 namespace opc {
 
-AcpEngine::AcpEngine(Simulator& sim, NodeId self, ProtocolKind proto,
-                     AcpConfig cfg, Network& net, LogWriter& wal,
+AcpEngine::AcpEngine(Env& env, NodeId self, ProtocolKind proto,
+                     AcpConfig cfg, Transport& net, LogWriter& wal,
                      LockManager& locks, MetaStore& store,
                      SharedStorage& storage, StatsRegistry& stats,
                      TraceRecorder& trace, FencingService* fencing,
                      HistoryRecorder* history, obs::PhaseLog* phases)
-    : sim_(sim), self_(self), proto_(proto), cfg_(cfg), net_(net), wal_(wal),
+    : env_(env), self_(self), proto_(proto), cfg_(cfg), net_(net), wal_(wal),
       locks_(locks), store_(store), storage_(storage), stats_(stats),
       trace_(trace), fencing_(fencing), history_(history), phases_(phases) {}
 
@@ -79,7 +79,7 @@ void AcpEngine::record_accesses(TxnId txn,
   for (const Operation& op : ops) {
     if (op.target.valid()) {
       history_->record_access(txn, op.target, !op_is_read(op.type),
-                              sim_.now(), self_.value());
+                              env_.now(), self_.value());
     }
   }
 }
@@ -145,7 +145,7 @@ TxnId AcpEngine::submit(Transaction txn, ClientCallback cb) {
     // from spinning at event-queue speed against a dead server).
     stats_.add("acp.submit.to_crashed");
     if (cb) {
-      sim_.schedule_after(Duration::millis(1),
+      env_.schedule_after(Duration::millis(1),
                           [id, cb = std::move(cb)] { cb(id, TxnOutcome::kAborted); });
     }
     return id;
@@ -165,7 +165,7 @@ TxnId AcpEngine::submit(Transaction txn, ClientCallback cb) {
   ct.txn = std::move(txn);
   ct.proto = choose_protocol(proto_, ct.txn.n_participants());
   ct.cb = std::move(cb);
-  ct.submitted = sim_.now();
+  ct.submitted = env_.now();
   auto [it, inserted] = coord_.emplace(id, std::move(ct));
   SIM_CHECK(inserted);
   start_coordination(it->second);
@@ -174,7 +174,7 @@ TxnId AcpEngine::submit(Transaction txn, ClientCallback cb) {
 
 void AcpEngine::start_coordination(CoordTxn& ct) {
   const TxnId id = ct.txn.id;
-  trace_.record(sim_.now(), TraceKind::kTxnBegin, self_.str(),
+  trace_.record(env_.now(), TraceKind::kTxnBegin, self_.str(),
                 std::string(namespace_op_name(ct.txn.kind)) + " via " +
                     std::string(protocol_name(ct.proto)) +
                     (ct.txn.is_local() ? " (local)" : ""),
@@ -230,7 +230,7 @@ void AcpEngine::acquire_next_lock(TxnId id) {
         locks_.release_all(id);
         if (history_ != nullptr) history_->record_abort(id);
         reply_client(*c, TxnOutcome::kAborted);
-        trace_.record(sim_.now(), TraceKind::kTxnAbort, self_.str(),
+        trace_.record(env_.now(), TraceKind::kTxnAbort, self_.str(),
                       "lock timeout before start", id);
         finished_[id] = TxnOutcome::kAborted;
         coord_.erase(id);
@@ -263,7 +263,7 @@ void AcpEngine::run_local_fastpath(TxnId id) {
   const std::uint64_t epoch = crash_epoch_;
   if (read_only) {
     // Read fast path: shared locks were enough, nothing to log.
-    sim_.schedule_after(compute, [this, id, epoch] {
+    env_.schedule_after(compute, [this, id, epoch] {
       if (epoch != crash_epoch_) return;
       CoordTxn* c = coord_of(id);
       if (c == nullptr) return;
@@ -274,7 +274,7 @@ void AcpEngine::run_local_fastpath(TxnId id) {
     });
     return;
   }
-  sim_.schedule_after(compute, [this, id, epoch] {
+  env_.schedule_after(compute, [this, id, epoch] {
     if (epoch != crash_epoch_) return;
     CoordTxn* c = coord_of(id);
     if (c == nullptr) return;
@@ -354,7 +354,7 @@ void AcpEngine::run_local_updates(TxnId id) {
     compute += op.compute;
   }
   const std::uint64_t epoch = crash_epoch_;
-  sim_.schedule_after(compute, [this, id, epoch] {
+  env_.schedule_after(compute, [this, id, epoch] {
     if (epoch != crash_epoch_) return;
     phase_mark(id, obs::PhaseId::kLocalUpdate, false);
     send_update_reqs(id);
@@ -417,18 +417,17 @@ void AcpEngine::send_update_reqs(TxnId id) {
 void AcpEngine::arm_response_timer(TxnId id) {
   CoordTxn* ct = coord_of(id);
   if (ct == nullptr) return;
-  sim_.cancel(ct->response_timer);
-  ct->response_timer = EventHandle{};
+  env_.cancel(ct->response_timer);
+  ct->response_timer = TimerHandle{};
   if (cfg_.response_timeout <= Duration::zero()) return;
   const std::uint64_t epoch = crash_epoch_;
   auto timeout_cb = [this, id, epoch] {
     if (epoch != crash_epoch_) return;
     on_response_timeout(id);
   };
-  static_assert(Simulator::Callback::stores_inline<decltype(timeout_cb)>(),
-                "per-transaction response timer must not allocate");
+  OPC_ASSERT_INLINE_CB(timeout_cb);
   ct->response_timer =
-      sim_.schedule_after(cfg_.response_timeout, std::move(timeout_cb));
+      env_.schedule_after(cfg_.response_timeout, std::move(timeout_cb));
 }
 
 void AcpEngine::on_response_timeout(TxnId id) {
@@ -503,8 +502,8 @@ void AcpEngine::on_updated(TxnId id, const Msg& m) {
   if (m.prepared) ct->prepared.insert(m.from.value());
   const std::size_t workers = ct->txn.participants.size() - 1;
   if (ct->updated.size() < workers) return;
-  sim_.cancel(ct->response_timer);
-  ct->response_timer = EventHandle{};
+  env_.cancel(ct->response_timer);
+  ct->response_timer = TimerHandle{};
   phase_mark(id, obs::PhaseId::kUpdateRound, false);
 
   switch (ct->proto) {
@@ -589,8 +588,8 @@ void AcpEngine::maybe_commit(TxnId id) {
     return;  // already past the decision
   }
   ct->phase = CoordPhase::kForcingCommit;
-  sim_.cancel(ct->response_timer);
-  ct->response_timer = EventHandle{};
+  env_.cancel(ct->response_timer);
+  ct->response_timer = TimerHandle{};
   // EP never entered the vote round; the assembler drops unmatched leaves.
   phase_mark(id, obs::PhaseId::kVoteRound, false);
   phase_mark(id, obs::PhaseId::kCommitForce, true);
@@ -681,8 +680,8 @@ void AcpEngine::on_commit_durable(TxnId id) {
 void AcpEngine::on_all_acked(TxnId id) {
   CoordTxn* ct = coord_of(id);
   if (ct == nullptr) return;
-  sim_.cancel(ct->response_timer);
-  ct->response_timer = EventHandle{};
+  env_.cancel(ct->response_timer);
+  ct->response_timer = TimerHandle{};
   phase_mark(id, obs::PhaseId::kAckRound, false);
   const TxnOutcome outcome =
       ct->aborting ? TxnOutcome::kAborted : TxnOutcome::kCommitted;
@@ -702,9 +701,9 @@ void AcpEngine::abort_coordination(TxnId id, const std::string& why) {
   SIM_CHECK_MSG(!ct->mem_committed, "abort after commit point");
   ct->aborting = true;
   stats_.add("acp.aborts");
-  trace_.record(sim_.now(), TraceKind::kTxnAbort, self_.str(), why, id);
-  sim_.cancel(ct->response_timer);
-  ct->response_timer = EventHandle{};
+  trace_.record(env_.now(), TraceKind::kTxnAbort, self_.str(), why, id);
+  env_.cancel(ct->response_timer);
+  ct->response_timer = TimerHandle{};
   store_.abort_txn(id);
   locks_.release_all(id);
   if (history_ != nullptr) history_->record_abort(id);
@@ -748,31 +747,30 @@ void AcpEngine::reply_client(CoordTxn& ct, TxnOutcome outcome) {
   } else {
     ++aborted_;
   }
-  if (!ct.recovered) latency_.record(sim_.now() - ct.submitted);
-  trace_.record(sim_.now(), TraceKind::kClientReply, self_.str(),
+  if (!ct.recovered) latency_.record(env_.now() - ct.submitted);
+  trace_.record(env_.now(), TraceKind::kClientReply, self_.str(),
                 outcome == TxnOutcome::kCommitted ? "committed" : "aborted",
                 ct.txn.id);
   if (ct.cb) {
     // Detach from the current call stack so client logic (e.g. a closed
     // loop submitting the next transaction) runs as its own event.
     auto reply_cb = [cb = ct.cb, id = ct.txn.id, outcome] { cb(id, outcome); };
-    static_assert(Simulator::Callback::stores_inline<decltype(reply_cb)>(),
-                  "client-reply detach must not allocate per commit");
-    sim_.schedule_after(Duration::zero(), std::move(reply_cb));
+    OPC_ASSERT_INLINE_CB(reply_cb);
+    env_.schedule_after(Duration::zero(), std::move(reply_cb));
   }
 }
 
 void AcpEngine::finish_coordination(TxnId id, TxnOutcome outcome) {
   CoordTxn* ct = coord_of(id);
   if (ct == nullptr) return;
-  trace_.record(sim_.now(),
+  trace_.record(env_.now(),
                 outcome == TxnOutcome::kCommitted ? TraceKind::kTxnCommit
                                                   : TraceKind::kTxnAbort,
                 self_.str(), "finished", id);
   stats_.add(outcome == TxnOutcome::kCommitted ? "acp.committed"
                                                : "acp.aborted");
-  sim_.cancel(ct->response_timer);
-  sim_.cancel(ct->retry_timer);
+  env_.cancel(ct->response_timer);
+  env_.cancel(ct->retry_timer);
   const bool was_recovered = ct->recovered;
   finished_[id] = outcome;
   coord_.erase(id);
@@ -901,7 +899,7 @@ void AcpEngine::worker_run_updates(TxnId id) {
   Duration compute = Duration::zero();
   for (const Operation& op : wt->ops) compute += op.compute;
   const std::uint64_t epoch = crash_epoch_;
-  sim_.schedule_after(compute, [this, id, epoch] {
+  env_.schedule_after(compute, [this, id, epoch] {
     if (epoch != crash_epoch_) return;
     worker_after_updates(id);
   });
@@ -932,8 +930,8 @@ void AcpEngine::worker_after_updates(TxnId id) {
     // log presumption.
     if (cfg_.response_timeout > Duration::zero()) {
       const std::uint64_t epoch = crash_epoch_;
-      sim_.cancel(wt->retry_timer);
-      wt->retry_timer = sim_.schedule_after(
+      env_.cancel(wt->retry_timer);
+      wt->retry_timer = env_.schedule_after(
           cfg_.response_timeout, [this, id, epoch] {
             if (epoch != crash_epoch_) return;
             WorkTxn* w = work_of(id);
@@ -987,8 +985,8 @@ void AcpEngine::worker_prepare(TxnId id, bool also_reply_updated) {
                // gets lost (PrC/EP send COMMIT fire-and-forget): poll the
                // coordinator after the response budget expires.
                if (cfg_.response_timeout > Duration::zero()) {
-                 sim_.cancel(w->retry_timer);
-                 w->retry_timer = sim_.schedule_after(
+                 env_.cancel(w->retry_timer);
+                 w->retry_timer = env_.schedule_after(
                      cfg_.response_timeout, [this, id, epoch] {
                        if (epoch != crash_epoch_) return;
                        WorkTxn* w2 = work_of(id);
@@ -1011,8 +1009,8 @@ void AcpEngine::worker_commit(TxnId id, bool forced_record,
                               bool reply_updated) {
   WorkTxn* wt = work_of(id);
   if (wt == nullptr) return;
-  sim_.cancel(wt->retry_timer);  // decision arrived; stop polling
-  wt->retry_timer = EventHandle{};
+  env_.cancel(wt->retry_timer);  // decision arrived; stop polling
+  wt->retry_timer = TimerHandle{};
   LogRecord committed = state_record(RecordType::kCommitted, id);
   for (int i = 0; i < 4; ++i) {
     committed.payload.push_back(
@@ -1152,7 +1150,7 @@ void AcpEngine::worker_handle_abort(const Msg& m) {
     return;
   }
   stats_.add("acp.worker.aborts");
-  sim_.cancel(wt->retry_timer);
+  env_.cancel(wt->retry_timer);
   store_.abort_txn(id);
   locks_.release_all(id);
   if (wt->proto == ProtocolKind::kPrA) {
@@ -1185,7 +1183,7 @@ void AcpEngine::worker_veto(TxnId id, MsgType reply_type,
                             const std::string& why) {
   WorkTxn* wt = work_of(id);
   if (wt == nullptr) return;
-  trace_.record(sim_.now(), TraceKind::kTxnAbort, self_.str(),
+  trace_.record(env_.now(), TraceKind::kTxnAbort, self_.str(),
                 "worker veto: " + why, id);
   store_.abort_txn(id);
   locks_.release_all(id);
@@ -1265,7 +1263,7 @@ void AcpEngine::on_message(Envelope env) {
       // 1PC worker receiving the coordinator's ACK.
       if (WorkTxn* wt = work_of(m.txn);
           wt != nullptr && wt->phase == WorkPhase::kCommitted) {
-        sim_.cancel(wt->retry_timer);
+        env_.cancel(wt->retry_timer);
         wal_.lazy(ended_record(m.txn, TxnOutcome::kCommitted),
                   WriteTag{"ended", /*critical=*/false});
         wal_.partition().truncate_txn(m.txn);
@@ -1294,11 +1292,11 @@ void AcpEngine::crash() {
   SIM_CHECK(!crashed_);
   crashed_ = true;
   ++crash_epoch_;
-  trace_.record(sim_.now(), TraceKind::kCrash, self_.str(), "engine down");
+  trace_.record(env_.now(), TraceKind::kCrash, self_.str(), "engine down");
   stats_.add("acp.crashes");
   for (auto& [id, ct] : coord_) {
-    sim_.cancel(ct.response_timer);
-    sim_.cancel(ct.retry_timer);
+    env_.cancel(ct.response_timer);
+    env_.cancel(ct.retry_timer);
     // Accesses whose effects die with the cache are void for the conflict
     // order; a re-drive records fresh ones at their true position.
     if (history_ != nullptr && !store_.stable_applied(id)) {
@@ -1306,7 +1304,7 @@ void AcpEngine::crash() {
     }
   }
   for (auto& [id, wt] : work_) {
-    sim_.cancel(wt.retry_timer);
+    env_.cancel(wt.retry_timer);
     if (history_ != nullptr && !store_.stable_applied(id)) {
       history_->drop_accesses(self_.value(), id);
     }

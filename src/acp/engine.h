@@ -27,11 +27,11 @@
 #include "acp/messages.h"
 #include "acp/protocol.h"
 #include "acp/services.h"
+#include "env/env.h"
+#include "env/transport.h"
 #include "lock/lock_manager.h"
 #include "mds/store.h"
-#include "net/network.h"
 #include "obs/phase.h"
-#include "sim/simulator.h"
 #include "stats/histogram.h"
 #include "txn/serializability.h"
 #include "wal/log_writer.h"
@@ -43,9 +43,10 @@ class AcpEngine {
   /// Client completion callback: outcome of a submitted transaction.
   using ClientCallback = std::function<void(TxnId, TxnOutcome)>;
 
-  AcpEngine(Simulator& sim, NodeId self, ProtocolKind proto, AcpConfig cfg,
-            Network& net, LogWriter& wal, LockManager& locks, MetaStore& store,
-            SharedStorage& storage, StatsRegistry& stats, TraceRecorder& trace,
+  AcpEngine(Env& env, NodeId self, ProtocolKind proto, AcpConfig cfg,
+            Transport& net, LogWriter& wal, LockManager& locks,
+            MetaStore& store, SharedStorage& storage, StatsRegistry& stats,
+            TraceRecorder& trace,
             FencingService* fencing = nullptr,
             HistoryRecorder* history = nullptr,
             obs::PhaseLog* phases = nullptr);
@@ -126,8 +127,8 @@ class AcpEngine {
     bool fencing = false;     // 1PC recovery against the worker in progress
     bool reqs_sent = false;   // UPDATE_REQs actually left this node
     SimTime submitted;
-    EventHandle response_timer;
-    EventHandle retry_timer;
+    TimerHandle response_timer;
+    TimerHandle retry_timer;
   };
 
   // ---- per-transaction worker state ----
@@ -151,7 +152,7 @@ class AcpEngine {
     bool commit_on_update = false;   // 1PC
     bool recovered = false;          // reconstructed from the log on reboot
     bool prepare_forced = false;     // a PREPARED record was sent to disk
-    EventHandle retry_timer;
+    TimerHandle retry_timer;
   };
 
   // ---- coordinator path (engine.cc) ----
@@ -224,11 +225,11 @@ class AcpEngine {
   [[nodiscard]] WorkTxn* work_of(TxnId id);
   void run_local_fastpath(TxnId id);
 
-  Simulator& sim_;
+  Env& env_;
   NodeId self_;
   ProtocolKind proto_;
   AcpConfig cfg_;
-  Network& net_;
+  Transport& net_;
   LogWriter& wal_;
   LockManager& locks_;
   MetaStore& store_;
@@ -244,7 +245,7 @@ class AcpEngine {
   // and the hot path are untouched: one pointer compare when disabled.
   void phase_mark(TxnId id, obs::PhaseId p, bool enter) {
     if (phases_ != nullptr) {
-      phases_->log(sim_.now(), self_, id, p, enter);
+      phases_->log(env_.now(), self_, id, p, enter);
     }
   }
 

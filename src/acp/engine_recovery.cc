@@ -69,7 +69,7 @@ void AcpEngine::recover(std::function<void()> on_done) {
   scanning_ = true;
   recovery_outstanding_ = 0;
   recovery_done_cb_ = std::move(on_done);
-  trace_.record(sim_.now(), TraceKind::kReboot, self_.str(),
+  trace_.record(env_.now(), TraceKind::kReboot, self_.str(),
                 "scanning own log");
   stats_.add("acp.recoveries");
   const std::uint64_t epoch = crash_epoch_;
@@ -115,7 +115,7 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
                                         const std::vector<LogRecord>& recs) {
   const auto state = last_state_in(recs, id);
   SIM_CHECK(state.has_value());
-  trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
+  trace_.record(env_.now(), TraceKind::kRecoveryStep, self_.str(),
                 "coordinator log state " +
                     std::string(record_type_name(*state)),
                 id);
@@ -165,7 +165,7 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
       ct.recovered = true;
       ct.replied = true;  // the client connection died with the crash
       ct.aborting = true;
-      ct.submitted = sim_.now();
+      ct.submitted = env_.now();
       ct.phase = CoordPhase::kWaitingAcks;
       auto [it, ok] = coord_.emplace(id, std::move(ct));
       SIM_CHECK(ok);
@@ -190,7 +190,7 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
       ct.replied = true;
       ct.started_durable = true;
       ct.own_prepare_durable = true;
-      ct.submitted = sim_.now();
+      ct.submitted = env_.now();
       ct.phase = CoordPhase::kLocking;
       ct.lock_objs = sorted_objects(ct.txn.participants.front().ops);
       auto [it, ok] = coord_.emplace(id, std::move(ct));
@@ -237,7 +237,7 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
       ct.replied = true;
       ct.started_durable = true;
       ct.own_prepare_durable = true;
-      ct.submitted = sim_.now();
+      ct.submitted = env_.now();
       ct.phase = CoordPhase::kWaitingAcks;
       auto [it, ok] = coord_.emplace(id, std::move(ct));
       SIM_CHECK(ok);
@@ -255,7 +255,7 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
       ct.recovered = true;
       ct.replied = true;
       ct.aborting = true;
-      ct.submitted = sim_.now();
+      ct.submitted = env_.now();
       ct.phase = CoordPhase::kWaitingAcks;
       auto [it, ok] = coord_.emplace(id, std::move(ct));
       SIM_CHECK(ok);
@@ -277,7 +277,7 @@ void AcpEngine::recover_worker_txn(TxnId id,
     wal_.partition().truncate_txn(id);
     return;
   }
-  trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
+  trace_.record(env_.now(), TraceKind::kRecoveryStep, self_.str(),
                 "worker log state " + std::string(record_type_name(*state)),
                 id);
 
@@ -393,7 +393,7 @@ void AcpEngine::redrive_transaction(Transaction txn) {
   ct.proto = choose_protocol(proto_, ct.txn.n_participants());
   ct.recovered = true;
   ct.replied = true;  // client is gone; outcome is recorded, not delivered
-  ct.submitted = sim_.now();
+  ct.submitted = env_.now();
   auto [it, ok] = coord_.emplace(id, std::move(ct));
   SIM_CHECK(ok);
   ++recovery_outstanding_;
@@ -403,10 +403,10 @@ void AcpEngine::redrive_transaction(Transaction txn) {
 void AcpEngine::arm_worker_retry(TxnId id, MsgType ask) {
   WorkTxn* wt = work_of(id);
   if (wt == nullptr) return;
-  sim_.cancel(wt->retry_timer);
+  env_.cancel(wt->retry_timer);
   const std::uint64_t epoch = crash_epoch_;
   wt->retry_timer =
-      sim_.schedule_after(cfg_.retry_interval, [this, id, ask, epoch] {
+      env_.schedule_after(cfg_.retry_interval, [this, id, ask, epoch] {
         if (epoch != crash_epoch_) return;
         WorkTxn* w = work_of(id);
         if (w == nullptr) return;
@@ -440,10 +440,10 @@ void AcpEngine::start_fencing_recovery(TxnId id) {
   SIM_CHECK_MSG(fencing_ != nullptr,
                 "1PC recovery requires a fencing service");
   ct->fencing = true;
-  sim_.cancel(ct->response_timer);
-  ct->response_timer = EventHandle{};
+  env_.cancel(ct->response_timer);
+  ct->response_timer = TimerHandle{};
   const NodeId worker = ct->txn.worker();
-  trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
+  trace_.record(env_.now(), TraceKind::kRecoveryStep, self_.str(),
                 "fencing " + worker.str() + " to read its log", id);
 
   // Batch: one STONITH round + one log scan answers every transaction
@@ -465,14 +465,16 @@ void AcpEngine::start_fencing_recovery(TxnId id) {
         });
     return;
   }
-  fencing_->fence_and_isolate(self_, worker, [this, worker, epoch] {
+  auto fenced_cb = [this, worker, epoch] {
     if (epoch != crash_epoch_ || crashed_) return;
     storage_.read_partition(
         self_, worker, [this, worker, epoch](std::vector<LogRecord> recs) {
           if (epoch != crash_epoch_ || crashed_) return;
           on_worker_log_batch(worker, recs);
         });
-  });
+  };
+  OPC_ASSERT_INLINE_CB(fenced_cb);
+  fencing_->fence_and_isolate(self_, worker, std::move(fenced_cb));
 }
 
 void AcpEngine::on_worker_log_batch(NodeId worker,
@@ -499,7 +501,7 @@ void AcpEngine::on_worker_log_read(TxnId id, NodeId worker,
       (*state == RecordType::kCommitted ||
        (*state == RecordType::kEnded &&
         ended_outcome(records, id) == TxnOutcome::kCommitted));
-  trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
+  trace_.record(env_.now(), TraceKind::kRecoveryStep, self_.str(),
                 committed ? "fenced log shows COMMITTED -> commit"
                           : "fenced log empty -> abort",
                 id);
@@ -587,8 +589,8 @@ void AcpEngine::handle_decision(const Msg& m) {
   const TxnId id = m.txn;
   WorkTxn* wt = work_of(id);
   if (wt == nullptr || wt->phase != WorkPhase::kPrepared) return;
-  sim_.cancel(wt->retry_timer);
-  wt->retry_timer = EventHandle{};
+  env_.cancel(wt->retry_timer);
+  wt->retry_timer = TimerHandle{};
   if (m.outcome == TxnOutcome::kCommitted) {
     worker_commit(id,
                   /*forced_record=*/wt->proto == ProtocolKind::kPrN ||
@@ -621,7 +623,7 @@ void AcpEngine::handle_ack_req(const Msg& m) {
 void AcpEngine::maybe_finish_recovery() {
   if (!recovering_ || recovery_outstanding_ > 0) return;
   recovering_ = false;
-  trace_.record(sim_.now(), TraceKind::kRecoveryStep, self_.str(),
+  trace_.record(env_.now(), TraceKind::kRecoveryStep, self_.str(),
                 "recovery complete; draining " +
                     std::to_string(queued_submissions_.size()) +
                     " queued submissions");
@@ -634,7 +636,7 @@ void AcpEngine::maybe_finish_recovery() {
     ct.txn = std::move(txn);
     ct.proto = choose_protocol(proto_, ct.txn.n_participants());
     ct.cb = std::move(cb);
-    ct.submitted = sim_.now();
+    ct.submitted = env_.now();
     auto [it, ok] = coord_.emplace(id, std::move(ct));
     if (!ok) continue;
     start_coordination(it->second);

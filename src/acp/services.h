@@ -4,9 +4,8 @@
 // the ACP layer stays testable with in-process fakes.
 #pragma once
 
-#include <functional>
-
 #include "net/types.h"
+#include "sim/inline_callback.h"
 
 namespace opc {
 
@@ -18,13 +17,18 @@ namespace opc {
 /// fenced; `on_fenced` runs once the target can no longer write.
 class FencingService {
  public:
+  /// SBO callback (same inline window as the executor callbacks) so the
+  /// fencing path stays allocation-free under both backends.  Callers
+  /// OPC_ASSERT_INLINE_CB their capture at the creation site.
+  using FenceCallback = InlineCallback<void(), kInlineCallbackBytes>;
+
   virtual ~FencingService() = default;
 
   /// Power-cycles `target` and fences its log partition; `on_fenced` runs
   /// once the target can no longer write.  The fence (and the target's
   /// reboot) is held until every requester releases it.
   virtual void fence_and_isolate(NodeId requester, NodeId target,
-                                 std::function<void()> on_fenced) = 0;
+                                 FenceCallback on_fenced) = 0;
 
   /// The requester is done reading the fenced log; when the last hold
   /// drops, the target may reboot (and will unfence itself on the way up).

@@ -88,9 +88,9 @@ void check_durability(CheckContext& ctx, std::vector<CheckFailure>& out) {
   for (std::uint32_t i = 0; i < n; ++i) {
     ctx.cluster.reboot_node(NodeId(i), [&recovered] { ++recovered; });
   }
-  const SimTime deadline = ctx.sim.now() + Duration::seconds(120);
-  while (recovered < n && ctx.sim.now() < deadline) {
-    ctx.sim.run_for(Duration::millis(100));
+  const SimTime deadline = ctx.env.now() + Duration::seconds(120);
+  while (recovered < n && ctx.env.now() < deadline) {
+    ctx.drive(Duration::millis(100));
   }
   if (recovered < n) {
     out.push_back({"durability",

@@ -19,10 +19,12 @@
 //                     is exercised end-to-end, and must be idempotent).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "env/env.h"
 
 namespace opc {
 
@@ -35,11 +37,15 @@ struct CheckFailure {
     const std::vector<CheckFailure>& failures);
 
 struct CheckContext {
-  Simulator& sim;
+  Env& env;  // executor clock for deadlines (the cluster's SimEnv today)
   Cluster& cluster;
   StatsRegistry& stats;
   std::vector<ObjectId> roots;  // directory roots for the invariant walk
   bool drained = false;         // did the runner's drain loop quiesce?
+  /// Drives the underlying executor forward by `d`; the durability oracle
+  /// uses it to let the power-cycled cluster replay its logs.  Supplied by
+  /// the run loop's owner (sim.run_for for the simulation backend).
+  std::function<void(Duration)> drive;
 };
 
 /// Runs the full battery; returns every failure (empty == all green).

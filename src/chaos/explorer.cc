@@ -160,7 +160,7 @@ std::vector<FaultSchedule> enumerate_crash_points(const ChaosRunConfig& base,
   SourceConfig scfg;
   scfg.concurrency = base.concurrency;
   scfg.client_timeout = Duration::seconds(1);
-  MixedSource source(sim, cluster, scfg, meter, stats, planner, ids, dirs,
+  MixedSource source(cluster.env(), cluster, scfg, meter, stats, planner, ids, dirs,
                      MixedSource::Mix{0.6, 0.25}, base.seed);
   source.start();
   sim.run_until(SimTime::zero() + base.run_for);

@@ -69,7 +69,7 @@ ChaosRunResult run_schedule(const ChaosRunConfig& cfg,
   SourceConfig scfg;
   scfg.concurrency = cfg.concurrency;
   scfg.client_timeout = Duration::seconds(1);
-  MixedSource source(sim, cluster, scfg, meter, stats, planner, ids, dirs,
+  MixedSource source(cluster.env(), cluster, scfg, meter, stats, planner, ids, dirs,
                      MixedSource::Mix{0.6, 0.25}, cfg.seed);
 
   Nemesis nemesis(sim, cluster, trace);
@@ -111,7 +111,8 @@ ChaosRunResult run_schedule(const ChaosRunConfig& cfg,
     }
   }
 
-  CheckContext ctx{sim, cluster, stats, dirs, drained};
+  CheckContext ctx{cluster.env(), cluster, stats, dirs, drained,
+                   [&sim](Duration d) { sim.run_for(d); }};
   ChaosRunResult r;
   r.failures = run_checkers(ctx);
   r.passed = r.failures.empty();

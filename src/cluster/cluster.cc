@@ -4,11 +4,12 @@ namespace opc {
 
 Cluster::Cluster(Simulator& sim, ClusterConfig cfg, StatsRegistry& stats,
                  TraceRecorder& trace)
-    : sim_(sim), cfg_(cfg), stats_(stats), trace_(trace) {
-  net_ = std::make_unique<Network>(sim, cfg_.net, stats, trace, cfg_.seed);
-  storage_ = std::make_unique<SharedStorage>(sim, stats, trace);
+    : sim_(sim), env_(sim, cfg.seed), cfg_(cfg), stats_(stats),
+      trace_(trace) {
+  net_ = std::make_unique<Network>(env_, cfg_.net, stats, trace, cfg_.seed);
+  storage_ = std::make_unique<SharedStorage>(env_, stats, trace);
   fencing_ = std::make_unique<StonithController>(
-      sim, *storage_, stats, trace, cfg_.fencing,
+      env_, *storage_, stats, trace, cfg_.fencing,
       [this](NodeId id) { crash_node(id); },
       [this](NodeId id) { reboot_node(id); });
 
@@ -16,7 +17,7 @@ Cluster::Cluster(Simulator& sim, ClusterConfig cfg, StatsRegistry& stats,
     const NodeId id(i);
     LogPartition& part = storage_->add_partition(id, cfg_.disk);
     nodes_.push_back(std::make_unique<MdsNode>(
-        sim, id, cfg_.protocol, cfg_.acp, cfg_.wal, cfg_.heartbeat, *net_,
+        env_, id, cfg_.protocol, cfg_.acp, cfg_.wal, cfg_.heartbeat, *net_,
         *storage_, part, stats, trace, fencing_.get(),
         cfg_.record_history ? &history_ : nullptr, cfg_.phase_log));
   }

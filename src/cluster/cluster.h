@@ -8,6 +8,8 @@
 #include "acp/config.h"
 #include "acp/protocol.h"
 #include "cluster/fencing.h"
+#include "env/sim_env.h"
+#include "net/network.h"
 #include "cluster/node.h"
 #include "mds/invariants.h"
 #include "txn/serializability.h"
@@ -34,6 +36,10 @@ struct ClusterConfig {
 
 class Cluster {
  public:
+  /// The cluster stays constructible from a bare Simulator — it owns the
+  /// SimEnv adapter internally, so the dozens of simulation tests and
+  /// benches keep their wiring while every component below runs against
+  /// Env.  (The real-time backend wires MdsNode directly; see src/rt.)
   Cluster(Simulator& sim, ClusterConfig cfg, StatsRegistry& stats,
           TraceRecorder& trace);
 
@@ -50,6 +56,7 @@ class Cluster {
   [[nodiscard]] MetaStore& store(NodeId id) { return node(id).store(); }
   [[nodiscard]] SharedStorage& storage() { return *storage_; }
   [[nodiscard]] Network& network() { return *net_; }
+  [[nodiscard]] Env& env() { return env_; }
   [[nodiscard]] StonithController& fencing() { return *fencing_; }
   [[nodiscard]] HistoryRecorder* history() {
     return cfg_.record_history ? &history_ : nullptr;
@@ -99,6 +106,7 @@ class Cluster {
 
  private:
   Simulator& sim_;
+  SimEnv env_;
   ClusterConfig cfg_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;

@@ -3,7 +3,7 @@
 namespace opc {
 
 void StonithController::fence_and_isolate(NodeId requester, NodeId target,
-                                          std::function<void()> on_fenced) {
+                                          FenceCallback on_fenced) {
   SIM_CHECK(on_fenced != nullptr);
   if (held(requester)) {
     // Dueling-shotguns breaker.  The requester is itself mid-fence: if the
@@ -15,23 +15,30 @@ void StonithController::fence_and_isolate(NodeId requester, NodeId target,
     // and its post-reboot recovery retries the fence once it is no longer
     // under fire.
     stats_.add("fencing.refused");
-    trace_.record(sim_.now(), TraceKind::kFence, requester.str(),
+    trace_.record(env_.now(), TraceKind::kFence, requester.str(),
                   "STONITH " + target.str() + " refused: requester is fenced");
     return;
   }
   stats_.add("fencing.requests");
-  trace_.record(sim_.now(), TraceKind::kFence, requester.str(),
+  trace_.record(env_.now(), TraceKind::kFence, requester.str(),
                 "STONITH " + target.str());
   holds_[target].insert(requester);
-  sim_.schedule_after(cfg_.fence_delay, [this, target,
-                                         on_fenced = std::move(on_fenced)] {
+  const std::uint64_t id = next_fence_id_++;
+  pending_fences_.emplace(id, std::move(on_fenced));
+  auto fire_cb = [this, target, id] {
     // Cut power (if the target is up — it may be merely partitioned, which
     // is the whole point) and fence the partition; only then is the log
     // safe to read.
     crash_node_(target);
     storage_.fence(target);
-    on_fenced();
-  });
+    auto it = pending_fences_.find(id);
+    if (it == pending_fences_.end()) return;
+    FenceCallback cb = std::move(it->second);
+    pending_fences_.erase(it);
+    cb();
+  };
+  OPC_ASSERT_INLINE_CB(fire_cb);
+  env_.schedule_after(cfg_.fence_delay, std::move(fire_cb));
 }
 
 void StonithController::release(NodeId requester, NodeId target) {
@@ -42,7 +49,7 @@ void StonithController::release(NodeId requester, NodeId target) {
   holds_.erase(it);
   stats_.add("fencing.releases");
   if (cfg_.auto_reboot) {
-    sim_.schedule_after(cfg_.reboot_delay, [this, target] {
+    env_.schedule_after(cfg_.reboot_delay, [this, target] {
       if (held(target)) return;  // re-fenced meanwhile
       reboot_node_(target);
     });

@@ -10,12 +10,13 @@
 // read is only safe post-fence.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "acp/services.h"
-#include "sim/simulator.h"
+#include "env/env.h"
 #include "sim/trace.h"
 #include "stats/counters.h"
 #include "wal/partition.h"
@@ -37,16 +38,16 @@ class StonithController final : public FencingService {
   using CrashFn = std::function<void(NodeId)>;
   using RebootFn = std::function<void(NodeId)>;
 
-  StonithController(Simulator& sim, SharedStorage& storage,
+  StonithController(Env& env, SharedStorage& storage,
                     StatsRegistry& stats, TraceRecorder& trace,
                     FencingConfig cfg, CrashFn crash_node,
                     RebootFn reboot_node)
-      : sim_(sim), storage_(storage), stats_(stats), trace_(trace), cfg_(cfg),
+      : env_(env), storage_(storage), stats_(stats), trace_(trace), cfg_(cfg),
         crash_node_(std::move(crash_node)),
         reboot_node_(std::move(reboot_node)) {}
 
   void fence_and_isolate(NodeId requester, NodeId target,
-                         std::function<void()> on_fenced) override;
+                         FenceCallback on_fenced) override;
   void release(NodeId requester, NodeId target) override;
 
   [[nodiscard]] bool held(NodeId target) const {
@@ -55,7 +56,7 @@ class StonithController final : public FencingService {
   }
 
  private:
-  Simulator& sim_;
+  Env& env_;
   SharedStorage& storage_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;
@@ -63,6 +64,12 @@ class StonithController final : public FencingService {
   CrashFn crash_node_;
   RebootFn reboot_node_;
   std::unordered_map<NodeId, std::unordered_set<NodeId>> holds_;
+  // Callbacks awaiting their fence_delay timer, keyed by a monotonic id so
+  // the timer lambda captures only {this, target, id} — 20 bytes, safely
+  // inside the callback's inline window (a moved-in FenceCallback capture
+  // would be 56 bytes and spill to the heap).
+  std::unordered_map<std::uint64_t, FenceCallback> pending_fences_;
+  std::uint64_t next_fence_id_ = 1;
 };
 
 }  // namespace opc

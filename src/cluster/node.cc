@@ -7,17 +7,17 @@ namespace {
 constexpr const char* kHeartbeatKind = "HB";
 }
 
-MdsNode::MdsNode(Simulator& sim, NodeId id, ProtocolKind proto,
+MdsNode::MdsNode(Env& env, NodeId id, ProtocolKind proto,
                  AcpConfig acp_cfg, WalConfig wal_cfg, HeartbeatConfig hb_cfg,
-                 Network& net, SharedStorage& storage, LogPartition& partition,
-                 StatsRegistry& stats, TraceRecorder& trace,
-                 FencingService* fencing, HistoryRecorder* history,
-                 obs::PhaseLog* phases)
-    : sim_(sim), id_(id), hb_cfg_(hb_cfg), net_(net), storage_(storage),
+                 Transport& net, SharedStorage& storage,
+                 LogPartition& partition, StatsRegistry& stats,
+                 TraceRecorder& trace, FencingService* fencing,
+                 HistoryRecorder* history, obs::PhaseLog* phases)
+    : env_(env), id_(id), hb_cfg_(hb_cfg), net_(net), storage_(storage),
       stats_(stats), trace_(trace), store_(id),
-      locks_(sim, "locks." + id.str(), stats, trace),
-      wal_(sim, id, partition, stats, trace, wal_cfg),
-      engine_(sim, id, proto, acp_cfg, net, wal_, locks_, store_, storage,
+      locks_(env, "locks." + id.str(), stats, trace),
+      wal_(env, id, partition, stats, trace, wal_cfg),
+      engine_(env, id, proto, acp_cfg, net, wal_, locks_, store_, storage,
               stats, trace, fencing, history, phases) {}
 
 void MdsNode::start() {
@@ -28,7 +28,7 @@ void MdsNode::start() {
   if (hb_cfg_.enabled) {
     last_heard_.clear();
     suspected_.clear();
-    for (NodeId p : peers_) last_heard_[p] = sim_.now();
+    for (NodeId p : peers_) last_heard_[p] = env_.now();
     schedule_heartbeat();
     schedule_sweep();
   }
@@ -54,7 +54,7 @@ void MdsNode::reboot(std::function<void()> on_recovered) {
 void MdsNode::on_envelope(Envelope env) {
   if (!alive_) return;
   if (env.kind == kHeartbeatKind) {
-    last_heard_[env.from] = sim_.now();
+    last_heard_[env.from] = env_.now();
     if (suspected_[env.from]) {
       suspected_[env.from] = false;
       engine_.clear_suspicion(env.from);
@@ -106,7 +106,7 @@ void MdsNode::handle_fs_rpc(const Envelope& env) {
 
 void MdsNode::schedule_heartbeat() {
   const std::uint64_t epoch = life_epoch_;
-  sim_.schedule_after(hb_cfg_.interval, [this, epoch] {
+  env_.schedule_after(hb_cfg_.interval, [this, epoch] {
     if (epoch != life_epoch_ || !alive_) return;
     if (!hb_muted_) {
       for (NodeId p : peers_) {
@@ -124,16 +124,16 @@ void MdsNode::schedule_heartbeat() {
 
 void MdsNode::schedule_sweep() {
   const std::uint64_t epoch = life_epoch_;
-  sim_.schedule_after(hb_cfg_.interval, [this, epoch] {
+  env_.schedule_after(hb_cfg_.interval, [this, epoch] {
     if (epoch != life_epoch_ || !alive_) return;
     for (NodeId p : peers_) {
       const SimTime last = last_heard_.contains(p) ? last_heard_[p]
                                                    : SimTime::zero();
-      const bool silent = sim_.now() - last > hb_cfg_.suspicion_timeout;
+      const bool silent = env_.now() - last > hb_cfg_.suspicion_timeout;
       if (silent && !suspected_[p]) {
         suspected_[p] = true;
         stats_.add("cluster.suspicions");
-        trace_.record(sim_.now(), TraceKind::kInfo, id_.str(),
+        trace_.record(env_.now(), TraceKind::kInfo, id_.str(),
                       "suspects " + p.str());
         engine_.suspect(p);
       }

@@ -6,9 +6,10 @@
 #include <memory>
 
 #include "acp/engine.h"
+#include "env/env.h"
+#include "env/transport.h"
 #include "lock/lock_manager.h"
 #include "mds/store.h"
-#include "net/network.h"
 #include "wal/log_writer.h"
 
 namespace opc {
@@ -21,8 +22,8 @@ struct HeartbeatConfig {
 
 class MdsNode {
  public:
-  MdsNode(Simulator& sim, NodeId id, ProtocolKind proto, AcpConfig acp_cfg,
-          WalConfig wal_cfg, HeartbeatConfig hb_cfg, Network& net,
+  MdsNode(Env& env, NodeId id, ProtocolKind proto, AcpConfig acp_cfg,
+          WalConfig wal_cfg, HeartbeatConfig hb_cfg, Transport& net,
           SharedStorage& storage, LogPartition& partition,
           StatsRegistry& stats, TraceRecorder& trace, FencingService* fencing,
           HistoryRecorder* history, obs::PhaseLog* phases = nullptr);
@@ -64,10 +65,10 @@ class MdsNode {
   void schedule_heartbeat();
   void schedule_sweep();
 
-  Simulator& sim_;
+  Env& env_;
   NodeId id_;
   HeartbeatConfig hb_cfg_;
-  Network& net_;
+  Transport& net_;
   SharedStorage& storage_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;

@@ -148,7 +148,8 @@ ExperimentResult run_create_storm(const ExperimentConfig& cfg) {
   std::vector<std::unique_ptr<CreateStormSource>> sources;
   for (std::uint32_t d = 0; d < cfg.n_directories; ++d) {
     sources.push_back(std::make_unique<CreateStormSource>(
-        run.sim_, *run.cluster_, per_source, run.meter_, run.stats_, planner,
+        run.cluster_->env(), *run.cluster_, per_source, run.meter_,
+        run.stats_, planner,
         ids, dirs[d], "d" + std::to_string(d) + "_"));
   }
   run.install_fault_injector();
@@ -178,7 +179,7 @@ ExperimentResult run_batched_storm(const ExperimentConfig& cfg,
   run.cluster_->bootstrap_directory(dir, NodeId(0));
   NamespacePlanner planner(part, OpCosts{});
 
-  CreateStormSource source(run.sim_, *run.cluster_, cfg.source, run.meter_,
+  CreateStormSource source(run.cluster_->env(), *run.cluster_, cfg.source, run.meter_,
                            run.stats_, planner, ids, dir, "b", batch);
   run.install_fault_injector();
   source.start();
@@ -200,7 +201,7 @@ ExperimentResult run_mixed(const ExperimentConfig& cfg, MixedSource::Mix mix,
     dirs.push_back(dir);
     run.cluster_->bootstrap_directory(dir, part.home_of(dir));
   }
-  MixedSource source(run.sim_, *run.cluster_, cfg.source, run.meter_,
+  MixedSource source(run.cluster_->env(), *run.cluster_, cfg.source, run.meter_,
                      run.stats_, planner, ids, dirs, mix, cfg.cluster.seed);
   run.install_fault_injector();
   source.start();

@@ -18,10 +18,10 @@ const char* fs_status_name(FsStatus s) {
   return "?";
 }
 
-FsClient::FsClient(Simulator& sim, Cluster& cluster, NamespacePlanner& planner,
+FsClient::FsClient(Env& env, Cluster& cluster, NamespacePlanner& planner,
                    IdAllocator& ids, ObjectId root, NodeId client_id,
                    FsClientConfig cfg)
-    : sim_(sim), cluster_(cluster), planner_(planner), ids_(ids), root_(root),
+    : env_(env), cluster_(cluster), planner_(planner), ids_(ids), root_(root),
       id_(client_id), cfg_(cfg) {
   SIM_CHECK_MSG(client_id.value() >= cluster.size(),
                 "client id collides with an MDS id");
@@ -54,7 +54,7 @@ void FsClient::on_envelope(Envelope env) {
   if (it == pending_.end()) return;  // timed out earlier
   Pending p = std::move(it->second);
   pending_.erase(it);
-  sim_.cancel(p.timer);
+  env_.cancel(p.timer);
   p.cb(true, reply);
 }
 
@@ -65,7 +65,7 @@ void FsClient::send_rpc(NodeId to, FsRpc rpc,
   Pending p;
   p.cb = std::move(cb);
   if (cfg_.rpc_timeout > Duration::zero()) {
-    p.timer = sim_.schedule_after(cfg_.rpc_timeout, [this, req] {
+    p.timer = env_.schedule_after(cfg_.rpc_timeout, [this, req] {
       auto it = pending_.find(req);
       if (it == pending_.end()) return;
       Pending dead = std::move(it->second);
@@ -94,7 +94,7 @@ void FsClient::resolve_components(std::vector<std::string> components,
   if (cfg_.dentry_cache_ttl > Duration::zero()) {
     auto it = dentry_cache_.find({current, components[index]});
     if (it != dentry_cache_.end()) {
-      if (sim_.now() - it->second.cached_at <= cfg_.dentry_cache_ttl) {
+      if (env_.now() - it->second.cached_at <= cfg_.dentry_cache_ttl) {
         ++cache_hits_;
         resolve_components(std::move(components), index + 1,
                            it->second.child, std::move(cb));
@@ -122,7 +122,7 @@ void FsClient::resolve_components(std::vector<std::string> components,
              }
              if (cfg_.dentry_cache_ttl > Duration::zero()) {
                dentry_cache_[{current, components[index]}] =
-                   CachedDentry{reply.child, sim_.now()};
+                   CachedDentry{reply.child, env_.now()};
              }
              resolve_components(std::move(components), index + 1, reply.child,
                                 std::move(cb));

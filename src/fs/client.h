@@ -67,7 +67,7 @@ class FsClient {
 
   /// `client_id` must be outside the MDS id range (e.g. cluster.size()+k).
   /// `root` is the root directory's object id.
-  FsClient(Simulator& sim, Cluster& cluster, NamespacePlanner& planner,
+  FsClient(Env& env, Cluster& cluster, NamespacePlanner& planner,
            IdAllocator& ids, ObjectId root, NodeId client_id,
            FsClientConfig cfg = {});
   ~FsClient();
@@ -112,7 +112,7 @@ class FsClient {
  private:
   struct Pending {
     std::function<void(bool delivered, FsRpcReply)> cb;
-    EventHandle timer;
+    TimerHandle timer;
   };
   struct CachedDentry {
     ObjectId child;
@@ -137,7 +137,7 @@ class FsClient {
   [[nodiscard]] StatusCb with_staleness_retry(const std::string& path,
                                               StatusCb cb);
 
-  Simulator& sim_;
+  Env& env_;
   Cluster& cluster_;
   NamespacePlanner& planner_;
   IdAllocator& ids_;

@@ -51,17 +51,17 @@ bool LockManager::acquire(std::uint64_t txn, std::uint64_t resource,
     if (grantable(s, txn, mode, /*as_upgrade=*/true)) {
       h.mode = LockMode::kExclusive;
       stats_.add("lock.upgrades");
-      trace_.record(sim_.now(), TraceKind::kLockGrant, name_,
+      trace_.record(env_.now(), TraceKind::kLockGrant, name_,
                     "upgrade r" + std::to_string(resource), txn);
       on_granted();
       return true;
     }
     // Queue at the front as an upgrade; it outranks new arrivals.
     Waiter w{txn, LockMode::kExclusive, /*upgrade=*/true,
-             std::move(on_granted), std::move(on_timeout), EventHandle{},
-             sim_.now()};
+             std::move(on_granted), std::move(on_timeout), TimerHandle{},
+             env_.now()};
     if (timeout > Duration::zero()) {
-      w.timer = sim_.schedule_after(timeout, [this, txn, resource] {
+      w.timer = env_.schedule_after(timeout, [this, txn, resource] {
         // Find and expire the queued request.
         auto it = locks_.find(resource);
         if (it == locks_.end()) return;
@@ -82,7 +82,7 @@ bool LockManager::acquire(std::uint64_t txn, std::uint64_t resource,
     s.waiters.push_front(std::move(w));
     waiting_by_txn_[txn].insert(resource);
     stats_.add("lock.waits");
-    trace_.record(sim_.now(), TraceKind::kLockWait, name_,
+    trace_.record(env_.now(), TraceKind::kLockWait, name_,
                   "wait-upgrade r" + std::to_string(resource), txn);
     return false;
   }
@@ -92,7 +92,7 @@ bool LockManager::acquire(std::uint64_t txn, std::uint64_t resource,
     s.holders.push_back(Holder{txn, mode});
     held_by_txn_[txn].insert(resource);
     stats_.add("lock.grants.immediate");
-    trace_.record(sim_.now(), TraceKind::kLockGrant, name_,
+    trace_.record(env_.now(), TraceKind::kLockGrant, name_,
                   std::string(mode_name(mode)) + " r" +
                       std::to_string(resource),
                   txn);
@@ -101,9 +101,9 @@ bool LockManager::acquire(std::uint64_t txn, std::uint64_t resource,
   }
 
   Waiter w{txn, mode, /*upgrade=*/false, std::move(on_granted),
-           std::move(on_timeout), EventHandle{}, sim_.now()};
+           std::move(on_timeout), TimerHandle{}, env_.now()};
   if (timeout > Duration::zero()) {
-    w.timer = sim_.schedule_after(timeout, [this, txn, resource] {
+    w.timer = env_.schedule_after(timeout, [this, txn, resource] {
       auto it = locks_.find(resource);
       if (it == locks_.end()) return;
       auto& ws = it->second.waiters;
@@ -125,7 +125,7 @@ bool LockManager::acquire(std::uint64_t txn, std::uint64_t resource,
   s.waiters.push_back(std::move(w));
   waiting_by_txn_[txn].insert(resource);
   stats_.add("lock.waits");
-  trace_.record(sim_.now(), TraceKind::kLockWait, name_,
+  trace_.record(env_.now(), TraceKind::kLockWait, name_,
                 std::string(mode_name(mode)) + " r" + std::to_string(resource),
                 txn);
   return false;
@@ -141,7 +141,7 @@ void LockManager::pump(std::uint64_t resource) {
 
     Waiter w = std::move(front);
     s.waiters.pop_front();
-    sim_.cancel(w.timer);
+    env_.cancel(w.timer);
     if (!txn_has_queued_waiter(s, w.txn)) {
       waiting_by_txn_[w.txn].erase(resource);
     }
@@ -161,9 +161,9 @@ void LockManager::pump(std::uint64_t resource) {
       s.holders.push_back(Holder{w.txn, w.mode});
       held_by_txn_[w.txn].insert(resource);
     }
-    wait_hist_.record(sim_.now() - w.enqueued);
+    wait_hist_.record(env_.now() - w.enqueued);
     stats_.add("lock.grants.queued");
-    trace_.record(sim_.now(), TraceKind::kLockGrant, name_,
+    trace_.record(env_.now(), TraceKind::kLockGrant, name_,
                   std::string(mode_name(w.mode)) + " r" +
                       std::to_string(resource) + " (queued)",
                   w.txn);
@@ -186,7 +186,7 @@ void LockManager::release(std::uint64_t txn, std::uint64_t resource) {
     if (t->second.empty()) held_by_txn_.erase(t);
   }
   stats_.add("lock.releases");
-  trace_.record(sim_.now(), TraceKind::kLockRelease, name_,
+  trace_.record(env_.now(), TraceKind::kLockRelease, name_,
                 "r" + std::to_string(resource), txn);
   if (s.holders.empty() && s.waiters.empty()) {
     locks_.erase(it);
@@ -211,7 +211,7 @@ void LockManager::release_all(std::uint64_t txn) {
       bool removed = false;
       for (auto x = ws.begin(); x != ws.end();) {
         if (x->txn == txn) {
-          sim_.cancel(x->timer);
+          env_.cancel(x->timer);
           x = ws.erase(x);
           removed = true;
           stats_.add("lock.cancelled_waits");
@@ -232,7 +232,7 @@ void LockManager::release_all(std::uint64_t txn) {
       std::erase_if(s.holders,
                     [txn](const Holder& h) { return h.txn == txn; });
       stats_.add("lock.releases");
-      trace_.record(sim_.now(), TraceKind::kLockRelease, name_,
+      trace_.record(env_.now(), TraceKind::kLockRelease, name_,
                     "r" + std::to_string(resource), txn);
       if (s.holders.empty() && s.waiters.empty()) {
         locks_.erase(it);
@@ -246,7 +246,7 @@ void LockManager::release_all(std::uint64_t txn) {
 void LockManager::reset() {
   for (auto& [res, s] : locks_) {
     (void)res;
-    for (Waiter& w : s.waiters) sim_.cancel(w.timer);
+    for (Waiter& w : s.waiters) env_.cancel(w.timer);
   }
   locks_.clear();
   held_by_txn_.clear();

@@ -23,7 +23,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "sim/simulator.h"
+#include "env/env.h"
 #include "sim/trace.h"
 #include "stats/counters.h"
 #include "stats/histogram.h"
@@ -43,9 +43,9 @@ class LockManager {
   using Granted = std::function<void()>;
   using TimedOut = std::function<void()>;
 
-  LockManager(Simulator& sim, std::string name, StatsRegistry& stats,
+  LockManager(Env& env, std::string name, StatsRegistry& stats,
               TraceRecorder& trace)
-      : sim_(sim), name_(std::move(name)), stats_(stats), trace_(trace) {}
+      : env_(env), name_(std::move(name)), stats_(stats), trace_(trace) {}
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -100,7 +100,7 @@ class LockManager {
     bool upgrade;
     Granted on_granted;
     TimedOut on_timeout;
-    EventHandle timer;
+    TimerHandle timer;
     SimTime enqueued;
   };
   struct LockState {
@@ -116,7 +116,7 @@ class LockManager {
   [[nodiscard]] static bool txn_has_queued_waiter(const LockState& s,
                                                   std::uint64_t txn);
 
-  Simulator& sim_;
+  Env& env_;
   std::string name_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;

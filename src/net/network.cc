@@ -15,24 +15,24 @@ void Network::detach(NodeId node) { handlers_.erase(node); }
 
 void Network::send(Envelope env) {
   stats_.add("net.sent");
-  trace_.record(sim_.now(), TraceKind::kMessageSend, env.from.str(),
+  trace_.record(env_.now(), TraceKind::kMessageSend, env.from.str(),
                 env.kind + " -> " + env.to.str(), env.txn);
 
   if (severed(env.from, env.to)) {
     stats_.add("net.dropped.partition");
-    trace_.record(sim_.now(), TraceKind::kMessageDrop, env.from.str(),
+    trace_.record(env_.now(), TraceKind::kMessageDrop, env.from.str(),
                   env.kind + " (partitioned) -> " + env.to.str(), env.txn);
     return;
   }
   if (cfg_.loss_probability > 0.0 && rng_.bernoulli(cfg_.loss_probability)) {
     stats_.add("net.dropped.loss");
-    trace_.record(sim_.now(), TraceKind::kMessageDrop, env.from.str(),
+    trace_.record(env_.now(), TraceKind::kMessageDrop, env.from.str(),
                   env.kind + " (lost) -> " + env.to.str(), env.txn);
     return;
   }
   if (drop_filter_ && drop_filter_(env)) {
     stats_.add("net.dropped.filter");
-    trace_.record(sim_.now(), TraceKind::kMessageDrop, env.from.str(),
+    trace_.record(env_.now(), TraceKind::kMessageDrop, env.from.str(),
                   env.kind + " (filtered) -> " + env.to.str(), env.txn);
     return;
   }
@@ -47,7 +47,7 @@ void Network::send(Envelope env) {
         0.0, static_cast<double>(cfg_.jitter_max.count_nanos()))));
   }
 
-  SimTime when = sim_.now() + delay;
+  SimTime when = env_.now() + delay;
   // FIFO per directed channel: never deliver before an earlier message on
   // the same channel.
   const std::uint64_t ch = key(env.from, env.to);
@@ -63,9 +63,8 @@ void Network::send(Envelope env) {
   auto deliver_cb = [this, boxed = std::move(boxed)] {
     deliver(std::move(*boxed));
   };
-  static_assert(Simulator::Callback::stores_inline<decltype(deliver_cb)>(),
-                "network delivery must not allocate per dispatch");
-  sim_.schedule_at(when, std::move(deliver_cb));
+  OPC_ASSERT_INLINE_CB(deliver_cb);
+  env_.schedule_at(when, std::move(deliver_cb));
 }
 
 void Network::deliver(Envelope env) {
@@ -73,7 +72,7 @@ void Network::deliver(Envelope env) {
   // packet is on the wire while the link goes dark.
   if (severed(env.from, env.to)) {
     stats_.add("net.dropped.partition");
-    trace_.record(sim_.now(), TraceKind::kMessageDrop, env.to.str(),
+    trace_.record(env_.now(), TraceKind::kMessageDrop, env.to.str(),
                   env.kind + " (partitioned in flight) from " + env.from.str(),
                   env.txn);
     return;
@@ -81,12 +80,12 @@ void Network::deliver(Envelope env) {
   auto it = handlers_.find(env.to);
   if (it == handlers_.end()) {
     stats_.add("net.dropped.down");
-    trace_.record(sim_.now(), TraceKind::kMessageDrop, env.to.str(),
+    trace_.record(env_.now(), TraceKind::kMessageDrop, env.to.str(),
                   env.kind + " (node down) from " + env.from.str(), env.txn);
     return;
   }
   stats_.add("net.delivered");
-  trace_.record(sim_.now(), TraceKind::kMessageRecv, env.to.str(),
+  trace_.record(env_.now(), TraceKind::kMessageRecv, env.to.str(),
                 env.kind + " <- " + env.from.str(), env.txn);
   // Copy the handler: the callback may detach/re-attach the node.
   Handler h = it->second;

@@ -19,30 +19,20 @@
 // message struct (src/acp/messages.h).
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "env/env.h"
+#include "env/transport.h"
 #include "net/types.h"
 #include "sim/rng.h"
-#include "sim/simulator.h"
 #include "sim/trace.h"
 #include "stats/counters.h"
 
 namespace opc {
-
-/// One in-flight message.
-struct Envelope {
-  NodeId from;
-  NodeId to;
-  std::string kind;        // short label for tracing ("UPDATE_REQ", ...)
-  std::uint64_t txn = 0;   // transaction id for tracing, 0 if none
-  std::uint64_t size_bytes = 256;
-  std::any payload;        // protocol-defined content
-};
 
 struct NetworkConfig {
   Duration latency = Duration::micros(100);  // one-way, paper's value
@@ -51,34 +41,31 @@ struct NetworkConfig {
   double loss_probability = 0.0;             // applied per message
 };
 
-class Network {
+class Network final : public Transport {
  public:
-  using Handler = std::function<void(Envelope)>;
+  using Handler = Transport::Handler;
 
-  Network(Simulator& sim, NetworkConfig cfg, StatsRegistry& stats,
+  Network(Env& env, NetworkConfig cfg, StatsRegistry& stats,
           TraceRecorder& trace, std::uint64_t seed = 1)
-      : sim_(sim), cfg_(cfg), stats_(stats), trace_(trace),
+      : env_(env), cfg_(cfg), stats_(stats), trace_(trace),
         rng_(seed, /*stream=*/0xA11CE) {}
-
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
 
   /// Attaches the receive handler for a node; replaces any previous one.
   /// A node with no handler (never attached, or detached by a crash) drops
   /// everything sent to it.
-  void attach(NodeId node, Handler handler);
+  void attach(NodeId node, Handler handler) override;
 
   /// Detaches a node (crash).  In-flight messages to it will be dropped at
   /// delivery time — they were "on the wire" when the node died.
-  void detach(NodeId node);
+  void detach(NodeId node) override;
 
-  [[nodiscard]] bool attached(NodeId node) const {
+  [[nodiscard]] bool attached(NodeId node) const override {
     return handlers_.contains(node);
   }
 
   /// Sends an envelope; delivery is scheduled after the link latency unless
   /// the link is severed or the message is lost.
-  void send(Envelope env);
+  void send(Envelope env) override;
 
   /// Severs the directed link from -> to.  sever_pair() cuts both ways.
   void sever(NodeId from, NodeId to) { severed_.insert(key(from, to)); }
@@ -118,7 +105,7 @@ class Network {
 
   void deliver(Envelope env);
 
-  Simulator& sim_;
+  Env& env_;
   NetworkConfig cfg_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;

@@ -1,0 +1,33 @@
+#include "rt/storm_plan.h"
+
+#include <string>
+
+namespace opc {
+
+StormPlan make_storm_plan(std::uint32_t n_nodes, std::uint32_t ops_per_node) {
+  StormPlan plan;
+  plan.n_nodes = n_nodes;
+
+  StridedPartitioner part(n_nodes);
+  NamespacePlanner planner(part, OpCosts{});
+
+  plan.dirs.reserve(n_nodes);
+  for (std::uint32_t i = 0; i < n_nodes; ++i) {
+    plan.dirs.emplace_back(static_cast<std::uint64_t>(i) + 1);
+  }
+
+  plan.per_node.resize(n_nodes);
+  for (std::uint32_t i = 0; i < n_nodes; ++i) {
+    plan.per_node[i].reserve(ops_per_node);
+    for (std::uint32_t j = 0; j < ops_per_node; ++j) {
+      const std::string name =
+          "f" + std::to_string(i) + "_" + std::to_string(j);
+      plan.per_node[i].push_back(planner.plan_create(
+          plan.dirs[i], name, part.inode_id(i, j), /*is_dir=*/false,
+          /*hint=*/j));
+    }
+  }
+  return plan;
+}
+
+}  // namespace opc

@@ -1,0 +1,68 @@
+// Pre-planned create storms shared by the rt backend and the sim/rt
+// differential test.
+//
+// Timing-independent by construction: every transaction (coordinator,
+// participants, object ids, names) is fixed before the run starts, so two
+// executions — one on the deterministic simulator, one on live threads —
+// that both drain the plan must converge to the same namespace and the
+// same commit/abort totals no matter how their schedules interleave.
+//
+// Shape: node i owns hot directory dirs[i] and coordinates ops_per_node
+// creates into it; each new file's inode lands on node (i+1) % n, making
+// every create a two-party distributed transaction (the paper's Fig. 1
+// scenario) — the widest shape 1PC supports without the PrN fallback.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mds/namespace.h"
+#include "txn/types.h"
+
+namespace opc {
+
+/// Stateless placement behind the plan: directory ids 1..n live on node
+/// id-1; inode ids are allocated in strides so creator node i's files land
+/// on node (i+1) % n.  Thread-safe (pure functions of the id).
+class StridedPartitioner final : public Partitioner {
+ public:
+  explicit StridedPartitioner(std::uint32_t n_nodes) : n_(n_nodes) {}
+
+  [[nodiscard]] NodeId home_of(ObjectId obj) const override {
+    const std::uint64_t v = obj.value();
+    if (v >= 1 && v <= n_) {  // hot directories
+      return NodeId(static_cast<std::uint32_t>(v - 1));
+    }
+    const std::uint64_t k = v - inode_base();
+    return NodeId(static_cast<std::uint32_t>((k % n_ + 1) % n_));
+  }
+  [[nodiscard]] NodeId place_child(ObjectId, ObjectId child,
+                                   std::uint64_t) override {
+    return home_of(child);
+  }
+  [[nodiscard]] std::uint32_t cluster_size() const override { return n_; }
+
+  /// First inode id (directories occupy 1..n).
+  [[nodiscard]] std::uint64_t inode_base() const { return n_ + 1; }
+
+  /// Inode id of node `i`'s `j`-th create: base + j*n + i.
+  [[nodiscard]] ObjectId inode_id(std::uint32_t i, std::uint32_t j) const {
+    return ObjectId(inode_base() + static_cast<std::uint64_t>(j) * n_ + i);
+  }
+
+ private:
+  std::uint32_t n_;
+};
+
+struct StormPlan {
+  std::uint32_t n_nodes = 0;
+  std::vector<ObjectId> dirs;                      // dirs[i] homed on node i
+  std::vector<std::vector<Transaction>> per_node;  // coordinated by node i
+};
+
+/// Builds the plan.  Pure function of (n_nodes, ops_per_node); both
+/// backends consume the identical transaction set.
+[[nodiscard]] StormPlan make_storm_plan(std::uint32_t n_nodes,
+                                        std::uint32_t ops_per_node);
+
+}  // namespace opc

@@ -24,6 +24,11 @@
 
 namespace opc {
 
+/// The repo-wide inline-capture budget: Simulator::Callback and
+/// Env::Callback both use it, so a callback built for one executor stays
+/// allocation-free on the other.
+inline constexpr std::size_t kInlineCallbackBytes = 48;
+
 template <typename Signature, std::size_t InlineBytes>
 class InlineCallback;  // only the void() specialization exists today
 
@@ -131,3 +136,13 @@ class InlineCallback<void(), InlineBytes> {
 };
 
 }  // namespace opc
+
+/// Asserts, at compile time, that the lambda/callable `cb` fits the
+/// repo-wide inline window (kInlineCallbackBytes) of the executor callback
+/// type — i.e. that scheduling it allocates nothing.  Use at every hot
+/// schedule site instead of hand-rolling the static_assert.
+#define OPC_ASSERT_INLINE_CB(cb)                                             \
+  static_assert(                                                             \
+      ::opc::InlineCallback<void(), ::opc::kInlineCallbackBytes>::           \
+          template stores_inline<decltype(cb)>(),                            \
+      #cb " must stay on the allocation-free inline-callback path")

@@ -50,6 +50,7 @@ class EventHandle {
 
  private:
   friend class Simulator;
+  friend class SimEnv;  // converts to/from the executor-neutral TimerHandle
   EventHandle(std::uint32_t slot, std::uint32_t gen)
       : slot_(slot), gen_(gen) {}
   std::uint32_t slot_ = 0;
@@ -63,7 +64,7 @@ class Simulator {
   /// epoch, or a std::function client callback plus an id — every
   /// high-rate caller in src/net, src/wal and src/acp fits (they
   /// static_assert it).  Larger captures fall back to one heap allocation.
-  using Callback = InlineCallback<void(), 48>;
+  using Callback = InlineCallback<void(), kInlineCallbackBytes>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;

@@ -56,18 +56,18 @@ void Disk::maybe_start() {
   in_service_cancelled_ = false;
   in_service_done_ = std::move(req.done);
   in_service_kind_ = req.kind;
-  service_started_ = sim_.now();
+  service_started_ = env_.now();
 
-  trace_.record(sim_.now(), TraceKind::kLogForceStart, name_,
+  trace_.record(env_.now(), TraceKind::kLogForceStart, name_,
                 req.kind + (req.is_read ? " [read]" : ""));
   const Duration svc = service_time(req.size);
   const std::uint64_t id = req.id;
-  sim_.schedule_after(svc, [this, id] { finish(id); });
+  env_.schedule_after(svc, [this, id] { finish(id); });
 }
 
 void Disk::finish(std::uint64_t id) {
   SIM_CHECK(in_service_ && in_service_id_ == id);
-  busy_time_ += sim_.now() - service_started_;
+  busy_time_ += env_.now() - service_started_;
   const bool cancelled = in_service_cancelled_;
   Completion done = std::move(in_service_done_);
   const std::string kind = std::move(in_service_kind_);
@@ -75,7 +75,7 @@ void Disk::finish(std::uint64_t id) {
   in_service_done_ = nullptr;
 
   if (!cancelled) {
-    trace_.record(sim_.now(), TraceKind::kLogForceDone, name_, kind);
+    trace_.record(env_.now(), TraceKind::kLogForceDone, name_, kind);
     stats_.add("disk." + name_ + ".completed");
     done();
   } else {

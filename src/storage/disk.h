@@ -20,8 +20,8 @@
 #include <functional>
 #include <string>
 
+#include "env/env.h"
 #include "net/types.h"
-#include "sim/simulator.h"
 #include "sim/trace.h"
 #include "stats/counters.h"
 
@@ -36,9 +36,9 @@ class Disk {
  public:
   using Completion = std::function<void()>;
 
-  Disk(Simulator& sim, std::string name, DiskConfig cfg, StatsRegistry& stats,
+  Disk(Env& env, std::string name, DiskConfig cfg, StatsRegistry& stats,
        TraceRecorder& trace)
-      : sim_(sim), name_(std::move(name)), cfg_(cfg), stats_(stats),
+      : env_(env), name_(std::move(name)), cfg_(cfg), stats_(stats),
         trace_(trace) {}
 
   Disk(const Disk&) = delete;
@@ -100,7 +100,7 @@ class Disk {
   void maybe_start();
   void finish(std::uint64_t id);
 
-  Simulator& sim_;
+  Env& env_;
   std::string name_;
   DiskConfig cfg_;
   StatsRegistry& stats_;

@@ -26,8 +26,8 @@ void LogWriter::force(std::vector<LogRecord> recs, WriteTag tag,
     recs.insert(recs.begin(), std::make_move_iterator(lazy_buf_.begin()),
                 std::make_move_iterator(lazy_buf_.end()));
     lazy_buf_.clear();
-    sim_.cancel(lazy_flush_timer_);
-    lazy_flush_timer_ = EventHandle{};
+    env_.cancel(lazy_flush_timer_);
+    lazy_flush_timer_ = TimerHandle{};
   }
 
   PendingForce pf{std::move(recs), std::move(on_durable)};
@@ -86,7 +86,7 @@ void LogWriter::lazy(LogRecord rec, WriteTag tag) {
   }
   stats_.add("wal.lazy.count");
   if (tag.critical) stats_.add("wal.lazy.critical");
-  trace_.record(sim_.now(), TraceKind::kLogLazyWrite, owner_.str(),
+  trace_.record(env_.now(), TraceKind::kLogLazyWrite, owner_.str(),
                 "lazy " + std::string(record_type_name(rec.type)) + " (" +
                     tag.label + ")",
                 rec.txn);
@@ -97,7 +97,7 @@ void LogWriter::lazy(LogRecord rec, WriteTag tag) {
 void LogWriter::schedule_lazy_flush() {
   if (lazy_flush_timer_.valid()) return;
   auto flush_cb = [this] {
-    lazy_flush_timer_ = EventHandle{};
+    lazy_flush_timer_ = TimerHandle{};
     if (lazy_buf_.empty() || crashed_ || part_.fenced()) return;
     auto recs = std::move(lazy_buf_);
     lazy_buf_.clear();
@@ -126,10 +126,9 @@ void LogWriter::schedule_lazy_flush() {
       part_.append_durable(std::move(recs));
     }
   };
-  static_assert(Simulator::Callback::stores_inline<decltype(flush_cb)>(),
-                "lazy-flush timer must not allocate per schedule");
+  OPC_ASSERT_INLINE_CB(flush_cb);
   lazy_flush_timer_ =
-      sim_.schedule_after(cfg_.lazy_flush_interval, std::move(flush_cb));
+      env_.schedule_after(cfg_.lazy_flush_interval, std::move(flush_cb));
 }
 
 void LogWriter::crash() {
@@ -140,8 +139,8 @@ void LogWriter::crash() {
   coalesce_queue_.clear();
   force_in_flight_ = false;
   outstanding_forces_ = 0;
-  sim_.cancel(lazy_flush_timer_);
-  lazy_flush_timer_ = EventHandle{};
+  env_.cancel(lazy_flush_timer_);
+  lazy_flush_timer_ = TimerHandle{};
 }
 
 }  // namespace opc

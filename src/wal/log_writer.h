@@ -45,9 +45,9 @@ struct WriteTag {
 
 class LogWriter {
  public:
-  LogWriter(Simulator& sim, NodeId owner, LogPartition& part,
+  LogWriter(Env& env, NodeId owner, LogPartition& part,
             StatsRegistry& stats, TraceRecorder& trace, WalConfig cfg)
-      : sim_(sim), owner_(owner), part_(part), stats_(stats), trace_(trace),
+      : env_(env), owner_(owner), part_(part), stats_(stats), trace_(trace),
         cfg_(cfg) {}
 
   LogWriter(const LogWriter&) = delete;
@@ -89,7 +89,7 @@ class LogWriter {
   void schedule_lazy_flush();
   [[nodiscard]] std::uint64_t padded(std::uint64_t bytes) const;
 
-  Simulator& sim_;
+  Env& env_;
   NodeId owner_;
   LogPartition& part_;
   StatsRegistry& stats_;
@@ -101,7 +101,7 @@ class LogWriter {
   std::uint32_t outstanding_forces_ = 0;   // submitted, not yet durable
   std::vector<PendingForce> coalesce_queue_;
   std::vector<LogRecord> lazy_buf_;
-  EventHandle lazy_flush_timer_;
+  TimerHandle lazy_flush_timer_;
   std::uint64_t crash_epoch_ = 0;  // invalidates in-flight continuations
 };
 

@@ -64,9 +64,15 @@ std::uint64_t LogPartition::modeled_size() const {
 }
 
 LogPartition& SharedStorage::add_partition(NodeId node, DiskConfig disk_cfg) {
+  return add_partition(node, disk_cfg, stats_, trace_);
+}
+
+LogPartition& SharedStorage::add_partition(NodeId node, DiskConfig disk_cfg,
+                                           StatsRegistry& stats,
+                                           TraceRecorder& trace) {
   SIM_CHECK_MSG(!parts_.contains(node), "partition already exists");
   auto part =
-      std::make_unique<LogPartition>(sim_, node, disk_cfg, stats_, trace_);
+      std::make_unique<LogPartition>(env_, node, disk_cfg, stats, trace);
   auto& ref = *part;
   parts_.emplace(node, std::move(part));
   return ref;
@@ -90,7 +96,7 @@ void SharedStorage::fence(NodeId node) {
   p.set_fenced(true);
   p.device().cancel_owner(node);
   stats_.add("storage.fences");
-  trace_.record(sim_.now(), TraceKind::kFence, node.str(),
+  trace_.record(env_.now(), TraceKind::kFence, node.str(),
                 "partition fenced");
 }
 
@@ -99,7 +105,7 @@ void SharedStorage::unfence(NodeId node) {
   if (!p.fenced()) return;
   p.set_fenced(false);
   stats_.add("storage.unfences");
-  trace_.record(sim_.now(), TraceKind::kFence, node.str(),
+  trace_.record(env_.now(), TraceKind::kFence, node.str(),
                 "partition unfenced");
 }
 

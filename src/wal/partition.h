@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "env/env.h"
 #include "net/types.h"
 #include "storage/disk.h"
 #include "wal/record.h"
@@ -27,10 +28,10 @@ namespace opc {
 /// Durable record store for one MDS.
 class LogPartition {
  public:
-  LogPartition(Simulator& sim, NodeId owner, DiskConfig disk_cfg,
+  LogPartition(Env& env, NodeId owner, DiskConfig disk_cfg,
                StatsRegistry& stats, TraceRecorder& trace)
       : owner_(owner),
-        device_(sim, "log." + owner.str(), disk_cfg, stats, trace) {}
+        device_(env, "log." + owner.str(), disk_cfg, stats, trace) {}
 
   [[nodiscard]] NodeId owner() const { return owner_; }
   [[nodiscard]] Disk& device() { return device_; }
@@ -82,8 +83,8 @@ class LogPartition {
 /// The central storage device: all partitions plus fencing.
 class SharedStorage {
  public:
-  SharedStorage(Simulator& sim, StatsRegistry& stats, TraceRecorder& trace)
-      : sim_(sim), stats_(stats), trace_(trace) {}
+  SharedStorage(Env& env, StatsRegistry& stats, TraceRecorder& trace)
+      : env_(env), stats_(stats), trace_(trace) {}
 
   SharedStorage(const SharedStorage&) = delete;
   SharedStorage& operator=(const SharedStorage&) = delete;
@@ -91,6 +92,12 @@ class SharedStorage {
   /// Creates the partition for a node.  Must be called once per node before
   /// any logging.
   LogPartition& add_partition(NodeId node, DiskConfig disk_cfg);
+
+  /// Same, but the partition's device reports into caller-supplied stats /
+  /// trace sinks.  The real-time cluster uses this so each node's disk
+  /// counters land in that node's (single-threaded) registry.
+  LogPartition& add_partition(NodeId node, DiskConfig disk_cfg,
+                              StatsRegistry& stats, TraceRecorder& trace);
 
   [[nodiscard]] LogPartition& partition(NodeId node);
   [[nodiscard]] const LogPartition& partition(NodeId node) const;
@@ -120,7 +127,7 @@ class SharedStorage {
                       std::function<void(std::vector<LogRecord>)> on_done);
 
  private:
-  Simulator& sim_;
+  Env& env_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;
   std::unordered_map<NodeId, std::unique_ptr<LogPartition>> parts_;

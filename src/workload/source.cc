@@ -25,7 +25,7 @@ void ClosedLoopSource::issue(bool retry) {
   });
 
   if (cfg_.client_timeout > Duration::zero()) {
-    sim_.schedule_after(cfg_.client_timeout, [this, txn, gen] {
+    env_.schedule_after(cfg_.client_timeout, [this, txn, gen] {
       if (!outstanding_.erase(gen)) return;  // already completed
       ++lost_;
       stats_.add("workload.lost");
@@ -45,7 +45,7 @@ void ClosedLoopSource::complete(const Transaction& txn, TxnOutcome outcome,
     stats_.add("workload.late_replies");
     if (outcome == TxnOutcome::kCommitted) {
       ++committed_;
-      meter_.record(sim_.now());
+      meter_.record(env_.now());
     }
     on_outcome(txn, outcome);
     return;
@@ -54,7 +54,7 @@ void ClosedLoopSource::complete(const Transaction& txn, TxnOutcome outcome,
   const bool retry = outcome != TxnOutcome::kCommitted;
   if (outcome == TxnOutcome::kCommitted) {
     ++committed_;
-    meter_.record(sim_.now());
+    meter_.record(env_.now());
     stats_.add("workload.committed");
   } else {
     ++aborted_;
@@ -64,7 +64,7 @@ void ClosedLoopSource::complete(const Transaction& txn, TxnOutcome outcome,
   Duration pause = cfg_.think_time;
   if (retry) pause += cfg_.retry_backoff;
   if (pause > Duration::zero()) {
-    sim_.schedule_after(pause, [this, retry] { issue(retry); });
+    env_.schedule_after(pause, [this, retry] { issue(retry); });
   } else {
     issue(retry);
   }
@@ -91,10 +91,10 @@ bool CreateStormSource::make_txn(Transaction& out, bool /*retry*/) {
 // ---------------------------------------------------------------------------
 
 OpenLoopCreateSource::OpenLoopCreateSource(
-    Simulator& sim, Cluster& cluster, double ops_per_second,
+    Env& env, Cluster& cluster, double ops_per_second,
     ThroughputMeter& meter, StatsRegistry& stats, NamespacePlanner& planner,
     IdAllocator& ids, ObjectId directory, std::uint64_t seed)
-    : sim_(sim), cluster_(cluster),
+    : env_(env), cluster_(cluster),
       mean_interarrival_(Duration::from_seconds_f(1.0 / ops_per_second)),
       meter_(meter), stats_(stats), planner_(planner), ids_(ids),
       dir_(directory), rng_(seed, /*stream=*/0x0B50) {
@@ -108,18 +108,18 @@ void OpenLoopCreateSource::start(SimTime stop_at) {
 
 void OpenLoopCreateSource::schedule_next() {
   const Duration gap = rng_.exponential(mean_interarrival_);
-  sim_.schedule_after(gap, [this] {
-    if (sim_.now() >= stop_at_) return;
+  env_.schedule_after(gap, [this] {
+    if (env_.now() >= stop_at_) return;
     const std::string name = "o" + std::to_string(issued_++);
     stats_.add("workload.issued");
-    const SimTime submitted = sim_.now();
+    const SimTime submitted = env_.now();
     cluster_.submit(
         planner_.plan_create(dir_, name, ids_.next(), false, issued_),
         [this, submitted](TxnId, TxnOutcome outcome) {
           if (outcome == TxnOutcome::kCommitted) {
             ++committed_;
-            meter_.record(sim_.now());
-            latency_.record(sim_.now() - submitted);
+            meter_.record(env_.now());
+            latency_.record(env_.now() - submitted);
             stats_.add("workload.committed");
           } else {
             stats_.add("workload.aborted");
@@ -131,12 +131,12 @@ void OpenLoopCreateSource::schedule_next() {
 
 // ---------------------------------------------------------------------------
 
-MixedSource::MixedSource(Simulator& sim, Cluster& cluster, SourceConfig cfg,
+MixedSource::MixedSource(Env& env, Cluster& cluster, SourceConfig cfg,
                          ThroughputMeter& meter, StatsRegistry& stats,
                          NamespacePlanner& planner, IdAllocator& ids,
                          std::vector<ObjectId> directories, Mix mix,
                          std::uint64_t seed)
-    : ClosedLoopSource(sim, cluster, cfg, meter, stats), planner_(planner),
+    : ClosedLoopSource(env, cluster, cfg, meter, stats), planner_(planner),
       ids_(ids), dirs_(std::move(directories)), mix_(mix),
       rng_(seed, /*stream=*/0x3157) {
   SIM_CHECK(!dirs_.empty());

@@ -36,9 +36,9 @@ struct SourceConfig {
 /// Closed-loop source skeleton; subclasses produce the transactions.
 class ClosedLoopSource {
  public:
-  ClosedLoopSource(Simulator& sim, Cluster& cluster, SourceConfig cfg,
+  ClosedLoopSource(Env& env, Cluster& cluster, SourceConfig cfg,
                    ThroughputMeter& meter, StatsRegistry& stats)
-      : sim_(sim), cluster_(cluster), cfg_(cfg), meter_(meter),
+      : env_(env), cluster_(cluster), cfg_(cfg), meter_(meter),
         stats_(stats) {}
   virtual ~ClosedLoopSource() = default;
 
@@ -67,7 +67,7 @@ class ClosedLoopSource {
     (void)outcome;
   }
 
-  Simulator& sim_;
+  Env& env_;
   Cluster& cluster_;
 
  private:
@@ -92,12 +92,12 @@ class ClosedLoopSource {
 /// transaction.
 class CreateStormSource final : public ClosedLoopSource {
  public:
-  CreateStormSource(Simulator& sim, Cluster& cluster, SourceConfig cfg,
+  CreateStormSource(Env& env, Cluster& cluster, SourceConfig cfg,
                     ThroughputMeter& meter, StatsRegistry& stats,
                     NamespacePlanner& planner, IdAllocator& ids,
                     ObjectId directory, std::string name_prefix = "f",
                     std::uint32_t batch = 1)
-      : ClosedLoopSource(sim, cluster, cfg, meter, stats), planner_(planner),
+      : ClosedLoopSource(env, cluster, cfg, meter, stats), planner_(planner),
         ids_(ids), dir_(directory), prefix_(std::move(name_prefix)),
         batch_(batch) {}
 
@@ -120,7 +120,7 @@ class CreateStormSource final : public ClosedLoopSource {
 /// distributed CREATEs into one hot directory, like the Figure 6 storm.
 class OpenLoopCreateSource {
  public:
-  OpenLoopCreateSource(Simulator& sim, Cluster& cluster, double ops_per_second,
+  OpenLoopCreateSource(Env& env, Cluster& cluster, double ops_per_second,
                        ThroughputMeter& meter, StatsRegistry& stats,
                        NamespacePlanner& planner, IdAllocator& ids,
                        ObjectId directory, std::uint64_t seed);
@@ -136,7 +136,7 @@ class OpenLoopCreateSource {
  private:
   void schedule_next();
 
-  Simulator& sim_;
+  Env& env_;
   Cluster& cluster_;
   Duration mean_interarrival_;
   ThroughputMeter& meter_;
@@ -161,7 +161,7 @@ class MixedSource final : public ClosedLoopSource {
     double remove = 0.25;  // rest is rename
   };
 
-  MixedSource(Simulator& sim, Cluster& cluster, SourceConfig cfg,
+  MixedSource(Env& env, Cluster& cluster, SourceConfig cfg,
               ThroughputMeter& meter, StatsRegistry& stats,
               NamespacePlanner& planner, IdAllocator& ids,
               std::vector<ObjectId> directories, Mix mix, std::uint64_t seed);

@@ -30,9 +30,9 @@ struct CacheFixture {
     cluster->bootstrap_directory(root, part->home_of(root));
     FsClientConfig ccfg;
     ccfg.dentry_cache_ttl = Duration::seconds(5);
-    cached = std::make_unique<FsClient>(sim, *cluster, *planner, ids, root,
+    cached = std::make_unique<FsClient>(cluster->env(), *cluster, *planner, ids, root,
                                         NodeId(10), ccfg);
-    plain = std::make_unique<FsClient>(sim, *cluster, *planner, ids, root,
+    plain = std::make_unique<FsClient>(cluster->env(), *cluster, *planner, ids, root,
                                        NodeId(11));
   }
 

@@ -29,7 +29,7 @@ struct FsFixture {
     planner = std::make_unique<NamespacePlanner>(*part, OpCosts{});
     root = ids.next();
     cluster->bootstrap_directory(root, part->home_of(root));
-    fs = std::make_unique<FsClient>(sim, *cluster, *planner, ids, root,
+    fs = std::make_unique<FsClient>(cluster->env(), *cluster, *planner, ids, root,
                                     NodeId(nodes + 1));
   }
 
@@ -222,7 +222,7 @@ TEST(FsClientTest, ReadsSeeOnePcCommitsImmediately) {
 
 TEST(FsClientTest, TwoClientsShareTheNamespace) {
   FsFixture f;
-  FsClient other(f.sim, *f.cluster, *f.planner, f.ids, f.root,
+  FsClient other(f.cluster->env(), *f.cluster, *f.planner, f.ids, f.root,
                  NodeId(f.cluster->size() + 2));
   ASSERT_EQ(f.run_op([&](auto cb) { f.fs->mkdir("/shared", cb); }),
             FsStatus::kOk);

@@ -31,7 +31,7 @@ struct FsFailFixture {
     root = ids.next();
     part->assign(root, NodeId(0));
     cluster->bootstrap_directory(root, NodeId(0));
-    fs = std::make_unique<FsClient>(sim, *cluster, *planner, ids, root,
+    fs = std::make_unique<FsClient>(cluster->env(), *cluster, *planner, ids, root,
                                     NodeId(5));
   }
 };

@@ -54,7 +54,7 @@ TEST_P(ChaosTest, MixedWorkloadSurvivesRandomCrashes) {
   SourceConfig scfg;
   scfg.concurrency = 6;
   scfg.client_timeout = Duration::seconds(1);
-  MixedSource source(sim, cluster, scfg, meter, stats, planner, ids, dirs,
+  MixedSource source(cluster.env(), cluster, scfg, meter, stats, planner, ids, dirs,
                      MixedSource::Mix{0.6, 0.25}, cp.seed);
   source.start();
 
@@ -139,7 +139,7 @@ TEST_P(LossTest, RetriesMaskMessageLoss) {
   scfg.concurrency = 4;
   scfg.max_ops = 60;
   scfg.client_timeout = Duration::seconds(2);
-  CreateStormSource source(sim, cluster, scfg, meter, stats, planner, ids,
+  CreateStormSource source(cluster.env(), cluster, scfg, meter, stats, planner, ids,
                            dir);
   source.start();
   sim.run_until(SimTime::zero() + Duration::seconds(120));

@@ -8,6 +8,7 @@
 #include <deque>
 #include <map>
 
+#include "env/sim_env.h"
 #include "lock/lock_manager.h"
 #include "sim/rng.h"
 
@@ -152,9 +153,10 @@ class ReferenceLock {
 TEST(LockModelCheck, RandomSequencesMatchReference) {
   for (std::uint64_t seed = 1; seed <= 60; ++seed) {
     Simulator sim;
+    SimEnv env(sim);
     StatsRegistry stats;
     TraceRecorder trace(false);
-    LockManager real(sim, "model", stats, trace);
+    LockManager real(env, "model", stats, trace);
     ReferenceLock ref;
     std::vector<ReferenceLock::Grant> real_grants;
     Rng rng(seed, 0x10DE1);

@@ -2,6 +2,7 @@
 // release cascades, deadlock detection, crash reset.
 #include <gtest/gtest.h>
 
+#include "env/sim_env.h"
 #include "lock/lock_manager.h"
 
 namespace opc {
@@ -9,9 +10,10 @@ namespace {
 
 struct LockFixture {
   Simulator sim;
+  SimEnv env{sim};
   StatsRegistry stats;
   TraceRecorder trace{false};
-  LockManager lm{sim, "lm", stats, trace};
+  LockManager lm{env, "lm", stats, trace};
 };
 
 TEST(LockTest, ExclusiveGrantsImmediatelyWhenFree) {

@@ -1,6 +1,7 @@
 // Network model: latency, FIFO channels, partitions, drops, detach.
 #include <gtest/gtest.h>
 
+#include "env/sim_env.h"
 #include "net/network.h"
 
 namespace opc {
@@ -8,6 +9,7 @@ namespace {
 
 struct NetFixture {
   Simulator sim;
+  SimEnv env{sim};
   StatsRegistry stats;
   TraceRecorder trace{false};
   NetworkConfig cfg;
@@ -15,7 +17,7 @@ struct NetFixture {
   std::vector<std::pair<NodeId, std::string>> received;
 
   explicit NetFixture(NetworkConfig c = {}) : cfg(c) {
-    net = std::make_unique<Network>(sim, cfg, stats, trace, 1);
+    net = std::make_unique<Network>(env, cfg, stats, trace, 1);
     for (std::uint32_t i = 0; i < 3; ++i) {
       const NodeId id(i);
       net->attach(id, [this, id](Envelope env) {

@@ -1,0 +1,158 @@
+// Differential backend test: the same pre-planned create storm runs on the
+// simulator (SimEnv) and on real threads (RtEnv), per protocol, and must
+// land in the same place — identical commit/abort/fence totals and an
+// identical stable namespace.  The plan fixes every ObjectId, name, and
+// participant set up front (storm_plan.h), so the final state is a pure
+// function of the plan, not of timing; only timing-dependent measurements
+// (latency, wall clock, retry counters) are excluded from the comparison
+// (docs/RUNTIME.md §5).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "rt/rt_cluster.h"
+#include "rt/storm_plan.h"
+#include "sim/simulator.h"
+
+namespace opc {
+namespace {
+
+constexpr std::uint32_t kNodes = 2;
+constexpr std::uint32_t kOpsPerNode = 30;
+constexpr std::uint32_t kConcurrency = 4;
+
+using Dentry = std::tuple<ObjectId, std::string, ObjectId>;
+
+struct Outcome {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::int64_t fences = 0;
+  std::vector<Dentry> dentries;  // sorted
+  std::size_t invariant_violations = 0;
+};
+
+std::vector<Dentry> collect_dentries(
+    const std::vector<const MetaStore*>& stores) {
+  std::vector<Dentry> out;
+  for (const MetaStore* s : stores) {
+    auto d = s->stable_dentries();
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Outcome run_on_sim(ProtocolKind proto, const StormPlan& plan) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  ClusterConfig cfg;
+  cfg.n_nodes = plan.n_nodes;
+  cfg.protocol = proto;
+  Cluster cluster(sim, cfg, stats, trace);
+  for (std::uint32_t i = 0; i < plan.n_nodes; ++i) {
+    cluster.bootstrap_directory(plan.dirs[i], NodeId(i));
+  }
+
+  // The same closed loop RtCluster runs, on virtual time: `kConcurrency`
+  // outstanding per node, refilled from each completion callback.
+  struct Loop {
+    std::size_t next = 0;
+    std::uint32_t inflight = 0;
+  };
+  std::vector<Loop> loops(plan.n_nodes);
+  std::function<void(std::uint32_t)> pump = [&](std::uint32_t i) {
+    Loop& lp = loops[i];
+    while (lp.inflight < kConcurrency && lp.next < plan.per_node[i].size()) {
+      ++lp.inflight;
+      Transaction txn = plan.per_node[i][lp.next++];
+      cluster.submit(std::move(txn), [&pump, &loops, i](TxnId, TxnOutcome) {
+        --loops[i].inflight;
+        pump(i);
+      });
+    }
+  };
+  for (std::uint32_t i = 0; i < plan.n_nodes; ++i) pump(i);
+  sim.run();
+
+  Outcome out;
+  for (std::uint32_t i = 0; i < plan.n_nodes; ++i) {
+    out.committed += cluster.engine(NodeId(i)).committed_count();
+    out.aborted += cluster.engine(NodeId(i)).aborted_count();
+  }
+  out.fences = stats.get("fencing.requests");
+  out.dentries = collect_dentries(cluster.stores());
+  out.invariant_violations = cluster.check_invariants(plan.dirs).size();
+  return out;
+}
+
+Outcome run_on_rt(ProtocolKind proto, const StormPlan& plan) {
+  RtClusterConfig cfg;
+  cfg.n_nodes = plan.n_nodes;
+  cfg.protocol = proto;
+  // Faster-than-paper disk keeps the live run short; equivalence is about
+  // final state, which the plan makes timing-independent.
+  cfg.disk.bytes_per_second = 4.0 * 1024.0 * 1024.0;
+  RtCluster cluster(cfg);
+  for (std::uint32_t i = 0; i < plan.n_nodes; ++i) {
+    cluster.bootstrap_directory(plan.dirs[i], NodeId(i));
+  }
+  RtCluster::StormResult res = cluster.run_storm(plan, kConcurrency);
+
+  Outcome out;
+  out.committed = res.committed;
+  out.aborted = res.aborted;
+  out.fences = res.stats.get("fencing.requests");
+  out.dentries = collect_dentries(cluster.stores());
+  out.invariant_violations = cluster.check_invariants(plan.dirs).size();
+  return out;
+}
+
+void expect_equivalent(ProtocolKind proto) {
+  const StormPlan plan = make_storm_plan(kNodes, kOpsPerNode);
+  const Outcome sim = run_on_sim(proto, plan);
+  const Outcome rt = run_on_rt(proto, plan);
+
+  // Every planned create commits exactly once on both backends.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kNodes) * kOpsPerNode;
+  EXPECT_EQ(sim.committed, expected);
+  EXPECT_EQ(rt.committed, sim.committed);
+  EXPECT_EQ(sim.aborted, 0u);
+  EXPECT_EQ(rt.aborted, sim.aborted);
+
+  // Quiescent runs never fence (heartbeats are off on both backends).
+  EXPECT_EQ(sim.fences, 0);
+  EXPECT_EQ(rt.fences, sim.fences);
+
+  EXPECT_EQ(sim.invariant_violations, 0u);
+  EXPECT_EQ(rt.invariant_violations, 0u);
+
+  // The stable namespace — every (dir, name, inode) edge — matches.
+  ASSERT_EQ(rt.dentries.size(), sim.dentries.size());
+  EXPECT_EQ(rt.dentries, sim.dentries);
+}
+
+TEST(RtEquivalenceTest, PresumedNothing) {
+  expect_equivalent(ProtocolKind::kPrN);
+}
+
+TEST(RtEquivalenceTest, PresumedCommit) {
+  expect_equivalent(ProtocolKind::kPrC);
+}
+
+TEST(RtEquivalenceTest, EarlyPrepare) {
+  expect_equivalent(ProtocolKind::kEP);
+}
+
+TEST(RtEquivalenceTest, OnePhaseCommit) {
+  expect_equivalent(ProtocolKind::kOnePC);
+}
+
+}  // namespace
+}  // namespace opc

@@ -2,6 +2,7 @@
 // utilization accounting.
 #include <gtest/gtest.h>
 
+#include "env/sim_env.h"
 #include "storage/disk.h"
 
 namespace opc {
@@ -9,6 +10,7 @@ namespace {
 
 struct DiskFixture {
   Simulator sim;
+  SimEnv env{sim};
   StatsRegistry stats;
   TraceRecorder trace{false};
   DiskConfig cfg;
@@ -18,7 +20,7 @@ struct DiskFixture {
                        Duration fixed = Duration::zero()) {
     cfg.bytes_per_second = bps;
     cfg.fixed_latency = fixed;
-    disk = std::make_unique<Disk>(sim, "d0", cfg, stats, trace);
+    disk = std::make_unique<Disk>(env, "d0", cfg, stats, trace);
   }
 };
 

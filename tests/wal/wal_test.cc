@@ -3,6 +3,7 @@
 // commit.
 #include <gtest/gtest.h>
 
+#include "env/sim_env.h"
 #include "wal/log_writer.h"
 #include "wal/partition.h"
 #include "wal/record.h"
@@ -84,9 +85,10 @@ TEST(RecordCodec, Crc32KnownVector) {
 
 struct WalFixture {
   Simulator sim;
+  SimEnv env{sim};
   StatsRegistry stats;
   TraceRecorder trace{false};
-  SharedStorage storage{sim, stats, trace};
+  SharedStorage storage{env, stats, trace};
   LogPartition* part;
   std::unique_ptr<LogWriter> writer;
 
@@ -94,7 +96,7 @@ struct WalFixture {
     DiskConfig dc;
     dc.bytes_per_second = 400.0 * 1024.0;
     part = &storage.add_partition(NodeId(0), dc);
-    writer = std::make_unique<LogWriter>(sim, NodeId(0), *part, stats, trace,
+    writer = std::make_unique<LogWriter>(env, NodeId(0), *part, stats, trace,
                                          cfg);
   }
 };

@@ -37,7 +37,7 @@ TEST(CreateStorm, MaxOpsBoundsIssuedWork) {
   SourceConfig cfg;
   cfg.concurrency = 4;
   cfg.max_ops = 20;
-  CreateStormSource src(f.sim, *f.cluster, cfg, f.meter, f.stats, *f.planner,
+  CreateStormSource src(f.cluster->env(), *f.cluster, cfg, f.meter, f.stats, *f.planner,
                         f.ids, f.dir);
   src.start();
   f.sim.run();
@@ -55,7 +55,7 @@ TEST(CreateStorm, ClosedLoopKeepsConcurrencyBounded) {
   SourceConfig cfg;
   cfg.concurrency = 3;
   cfg.max_ops = 30;
-  CreateStormSource src(f.sim, *f.cluster, cfg, f.meter, f.stats, *f.planner,
+  CreateStormSource src(f.cluster->env(), *f.cluster, cfg, f.meter, f.stats, *f.planner,
                         f.ids, f.dir);
   src.start();
   // At any instant the coordinator holds at most `concurrency` transactions.
@@ -74,7 +74,7 @@ TEST(CreateStorm, ThinkTimeSlowsIssueRate) {
   SourceConfig fast_cfg;
   fast_cfg.concurrency = 1;
   fast_cfg.max_ops = 5;
-  CreateStormSource fast(f.sim, *f.cluster, fast_cfg, f.meter, f.stats,
+  CreateStormSource fast(f.cluster->env(), *f.cluster, fast_cfg, f.meter, f.stats,
                          *f.planner, f.ids, f.dir, "fast");
   fast.start();
   f.sim.run();
@@ -83,7 +83,7 @@ TEST(CreateStorm, ThinkTimeSlowsIssueRate) {
   WorkloadFixture g;
   SourceConfig slow_cfg = fast_cfg;
   slow_cfg.think_time = Duration::millis(100);
-  CreateStormSource slow(g.sim, *g.cluster, slow_cfg, g.meter, g.stats,
+  CreateStormSource slow(g.cluster->env(), *g.cluster, slow_cfg, g.meter, g.stats,
                          *g.planner, g.ids, g.dir, "slow");
   slow.start();
   g.sim.run();
@@ -98,7 +98,7 @@ TEST(CreateStorm, BatchModePlansMultiCreateTransactions) {
   SourceConfig cfg;
   cfg.concurrency = 1;
   cfg.max_ops = 4;
-  CreateStormSource src(f.sim, *f.cluster, cfg, f.meter, f.stats, *f.planner,
+  CreateStormSource src(f.cluster->env(), *f.cluster, cfg, f.meter, f.stats, *f.planner,
                         f.ids, f.dir, "b", /*batch=*/8);
   src.start();
   f.sim.run();
@@ -114,7 +114,7 @@ TEST(Watchdog, CoordinatorCrashDoesNotStallTheLoop) {
   cfg.concurrency = 2;
   cfg.max_ops = 0;
   cfg.client_timeout = Duration::millis(500);
-  CreateStormSource src(f.sim, *f.cluster, cfg, f.meter, f.stats, *f.planner,
+  CreateStormSource src(f.cluster->env(), *f.cluster, cfg, f.meter, f.stats, *f.planner,
                         f.ids, f.dir);
   src.start();
   f.cluster->schedule_crash(NodeId(0), Duration::millis(30),
@@ -129,7 +129,7 @@ TEST(Watchdog, CoordinatorCrashDoesNotStallTheLoop) {
 
 TEST(OpenLoop, ArrivalRateIsRespectedAndLatencyRecorded) {
   WorkloadFixture f;
-  OpenLoopCreateSource src(f.sim, *f.cluster, /*ops_per_second=*/10.0,
+  OpenLoopCreateSource src(f.cluster->env(), *f.cluster, /*ops_per_second=*/10.0,
                            f.meter, f.stats, *f.planner, f.ids, f.dir,
                            /*seed=*/3);
   f.meter.set_warmup_until(SimTime::zero() + Duration::seconds(5));
@@ -149,7 +149,7 @@ TEST(OpenLoop, ArrivalRateIsRespectedAndLatencyRecorded) {
 
 TEST(OpenLoop, StopsIssuingAtDeadline) {
   WorkloadFixture f;
-  OpenLoopCreateSource src(f.sim, *f.cluster, 20.0, f.meter, f.stats,
+  OpenLoopCreateSource src(f.cluster->env(), *f.cluster, 20.0, f.meter, f.stats,
                            *f.planner, f.ids, f.dir, 4);
   src.start(SimTime::zero() + Duration::seconds(2));
   f.sim.run_until(SimTime::zero() + Duration::seconds(30));
@@ -165,7 +165,7 @@ TEST(MixedWorkloadSource, ImageMatchesClusterState) {
   SourceConfig cfg;
   cfg.concurrency = 4;
   cfg.max_ops = 200;
-  MixedSource src(f.sim, *f.cluster, cfg, f.meter, f.stats, *f.planner,
+  MixedSource src(f.cluster->env(), *f.cluster, cfg, f.meter, f.stats, *f.planner,
                   f.ids, {f.dir}, MixedSource::Mix{0.5, 0.3}, 42);
   src.start();
   f.sim.run();
@@ -182,7 +182,7 @@ TEST(MixedWorkloadSource, DeterministicForFixedSeed) {
     cfg.concurrency = 4;
     cfg.max_ops = 100;
     ThroughputMeter meter;
-    MixedSource src(f.sim, *f.cluster, cfg, meter, f.stats, *f.planner, f.ids,
+    MixedSource src(f.cluster->env(), *f.cluster, cfg, meter, f.stats, *f.planner, f.ids,
                     {f.dir}, MixedSource::Mix{0.6, 0.2}, 99);
     src.start();
     f.sim.run();
