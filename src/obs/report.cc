@@ -91,6 +91,8 @@ RunReport build_report(const ReportInputs& in) {
     r.latency_p50_ns = static_cast<std::int64_t>(in.latency->quantile(0.50));
     r.latency_p95_ns = static_cast<std::int64_t>(in.latency->quantile(0.95));
     r.latency_p99_ns = static_cast<std::int64_t>(in.latency->quantile(0.99));
+    r.latency_p999_ns =
+        static_cast<std::int64_t>(in.latency->quantile(0.999));
   }
 
   if (in.stats != nullptr) {
@@ -177,7 +179,8 @@ std::string report_to_json(const RunReport& r) {
   j += "    \"count\": " + std::to_string(r.latency_count) + ",\n";
   j += "    \"p50_ns\": " + std::to_string(r.latency_p50_ns) + ",\n";
   j += "    \"p95_ns\": " + std::to_string(r.latency_p95_ns) + ",\n";
-  j += "    \"p99_ns\": " + std::to_string(r.latency_p99_ns) + "\n  },\n";
+  j += "    \"p99_ns\": " + std::to_string(r.latency_p99_ns) + ",\n";
+  j += "    \"p999_ns\": " + std::to_string(r.latency_p999_ns) + "\n  },\n";
   j += "  \"trace\": {\n";
   j += "    \"hash\": " + q(fmt_hash(r.trace_hash)) + ",\n";
   j += "    \"spans\": " + std::to_string(r.span_count) + ",\n";
@@ -252,6 +255,7 @@ bool report_from_json(const std::string& text, RunReport& out) {
   out.latency_p50_ns = lat["p50_ns"].as_int();
   out.latency_p95_ns = lat["p95_ns"].as_int();
   out.latency_p99_ns = lat["p99_ns"].as_int();
+  out.latency_p999_ns = lat["p999_ns"].as_int();  // 0 when reading v1 files
   const JsonValue& tr = root["trace"];
   out.trace_hash =
       std::strtoull(tr["hash"].as_string().c_str(), nullptr, 16);
@@ -303,7 +307,8 @@ std::string render_report_text(const RunReport& r) {
   out += "latency: n=" + std::to_string(r.latency_count) +
          " p50=" + ns_human(r.latency_p50_ns) +
          " p95=" + ns_human(r.latency_p95_ns) +
-         " p99=" + ns_human(r.latency_p99_ns) + "\n";
+         " p99=" + ns_human(r.latency_p99_ns) +
+         " p999=" + ns_human(r.latency_p999_ns) + "\n";
   out += "trace: hash=" + fmt_hash(r.trace_hash) +
          " spans=" + std::to_string(r.span_count) +
          " txns=" + std::to_string(r.txn_count) + "\n";
@@ -362,6 +367,7 @@ std::string render_report_diff(const RunReport& a, const RunReport& b) {
   row("latency.p50_ns", a.latency_p50_ns, b.latency_p50_ns);
   row("latency.p95_ns", a.latency_p95_ns, b.latency_p95_ns);
   row("latency.p99_ns", a.latency_p99_ns, b.latency_p99_ns);
+  row("latency.p999_ns", a.latency_p999_ns, b.latency_p999_ns);
   row("spans", a.span_count, b.span_count);
   row("txns", a.txn_count, b.txn_count);
   out += t.render();

@@ -22,7 +22,8 @@
 
 namespace opc::obs {
 
-inline constexpr int kReportSchemaVersion = 1;
+// v2 added latency.p999_ns (the serving path reports four nines).
+inline constexpr int kReportSchemaVersion = 2;
 
 struct ReportMeta {
   std::string protocol;  // "prn" | "prc" | "ep" | "1pc" | "pra" | mixed
@@ -59,6 +60,7 @@ struct RunReport {
   std::int64_t latency_p50_ns = 0;
   std::int64_t latency_p95_ns = 0;
   std::int64_t latency_p99_ns = 0;
+  std::int64_t latency_p999_ns = 0;
   std::uint64_t trace_hash = 0;
   std::int64_t span_count = 0;
   std::int64_t txn_count = 0;

@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.30]
+    tools/bench_diff.py --self-test
 
 Exit codes:
     0  every bench within the regression budget
@@ -13,6 +14,11 @@ The comparison is throughput-based (events_per_sec).  allocs_per_event is
 reported for context and checked only for gross regressions (a bench that
 was allocation-free going allocating), since it is the number the inline
 callback fast path is designed to hold at zero.
+
+Metrics present in the current run but absent from the baseline (a newly
+added counter, or an older baseline generated before the metric existed)
+are reported as "new metric, no baseline" and never fail the gate: a
+baseline refresh is the only way to start enforcing a new number.
 """
 
 import argparse
@@ -30,53 +36,127 @@ def load(path):
     return {b["name"]: b for b in doc.get("benches", [])}
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--threshold", type=float, default=0.30,
-                    help="max allowed fractional throughput drop (default 0.30)")
-    args = ap.parse_args()
-
-    base = load(args.baseline)
-    cur = load(args.current)
+def diff(base, cur, threshold, out=sys.stdout):
+    """Compares two {name: bench} maps; returns an exit code (0/1/2)."""
+    def p(line=""):
+        print(line, file=out)
 
     missing = sorted(set(base) - set(cur))
     if missing:
-        print(f"error: benches missing from {args.current}: {missing}")
+        p(f"error: benches missing from current run: {missing}")
         return 2
 
     failed = False
-    print(f"{'bench':<34} {'baseline ev/s':>14} {'current ev/s':>14} "
-          f"{'delta':>8}  {'allocs/ev':>18}")
+    p(f"{'bench':<34} {'baseline ev/s':>14} {'current ev/s':>14} "
+      f"{'delta':>8}  {'allocs/ev':>18}")
     for name, b in sorted(base.items()):
         c = cur[name]
-        b_eps, c_eps = b["events_per_sec"], c["events_per_sec"]
+        b_eps = b.get("events_per_sec")
+        c_eps = c.get("events_per_sec")
+        if b_eps is None:
+            # Baseline predates the metric: report, never gate.
+            p(f"{name:<34} {'(new metric, no baseline)':>29} "
+              f"{c_eps if c_eps is not None else '-':>14}")
+            continue
+        if c_eps is None:
+            p(f"error: {name}: events_per_sec missing from current run")
+            return 2
         delta = (c_eps - b_eps) / b_eps if b_eps > 0 else 0.0
-        allocs = f"{b['allocs_per_event']:.3f} -> {c['allocs_per_event']:.3f}"
+        b_allocs = b.get("allocs_per_event")
+        c_allocs = c.get("allocs_per_event")
+        if b_allocs is None or c_allocs is None:
+            allocs = "(new metric, no baseline)"
+        else:
+            allocs = f"{b_allocs:.3f} -> {c_allocs:.3f}"
         verdict = ""
-        if delta < -args.threshold:
+        if delta < -threshold:
             verdict = "  REGRESSION"
             failed = True
         # A bench engineered to be allocation-free must stay that way: going
         # from <0.01 to >=1 alloc/event is a fast-path break even if raw
-        # throughput on this runner absorbed it.
-        if b["allocs_per_event"] < 0.01 and c["allocs_per_event"] >= 1.0:
+        # throughput on this runner absorbed it.  Only enforceable when both
+        # sides carry the metric.
+        if (b_allocs is not None and c_allocs is not None
+                and b_allocs < 0.01 and c_allocs >= 1.0):
             verdict += "  ALLOC-REGRESSION"
             failed = True
-        print(f"{name:<34} {b_eps:>14.0f} {c_eps:>14.0f} {delta:>+7.1%} "
-              f" {allocs:>18}{verdict}")
+        p(f"{name:<34} {b_eps:>14.0f} {c_eps:>14.0f} {delta:>+7.1%} "
+          f" {allocs:>18}{verdict}")
 
     extra = sorted(set(cur) - set(base))
     if extra:
-        print(f"note: benches not in baseline (ignored): {extra}")
+        p(f"note: benches not in baseline (ignored): {extra}")
     if failed:
-        print(f"\nFAIL: throughput regressed more than "
-              f"{args.threshold:.0%} vs {args.baseline} "
-              f"(refresh the baseline only with a justified perf change)")
+        p(f"\nFAIL: throughput regressed more than "
+          f"{threshold:.0%} vs baseline "
+          f"(refresh the baseline only with a justified perf change)")
         return 1
-    print("\nOK: within regression budget")
+    p("\nOK: within regression budget")
     return 0
+
+
+def self_test():
+    """Exercises the comparison logic on synthetic inputs; exits 0/1."""
+    import io
+
+    def run(base, cur, threshold=0.30):
+        return diff(base, cur, threshold, out=io.StringIO())
+
+    bench = lambda eps, allocs=0.0: {  # noqa: E731 - test-local shorthand
+        "events_per_sec": eps, "allocs_per_event": allocs}
+    cases = [
+        # (description, expected exit code, base, cur)
+        ("identical runs pass", 0,
+         {"a": bench(100.0)}, {"a": bench(100.0)}),
+        ("30% drop fails", 1,
+         {"a": bench(100.0)}, {"a": bench(60.0)}),
+        ("drop within budget passes", 0,
+         {"a": bench(100.0)}, {"a": bench(80.0)}),
+        ("alloc regression fails even with throughput flat", 1,
+         {"a": bench(100.0, 0.0)}, {"a": bench(100.0, 2.0)}),
+        ("missing bench is malformed", 2,
+         {"a": bench(100.0), "b": bench(5.0)}, {"a": bench(100.0)}),
+        ("extra bench in current is ignored", 0,
+         {"a": bench(100.0)}, {"a": bench(100.0), "b": bench(5.0)}),
+        ("new metric without baseline never gates", 0,
+         {"a": {}}, {"a": bench(1.0)}),
+        ("alloc metric missing on one side is reported, not gated", 0,
+         {"a": {"events_per_sec": 100.0}}, {"a": bench(100.0, 9.0)}),
+        ("current missing a gated metric is malformed", 2,
+         {"a": bench(100.0)}, {"a": {}}),
+        ("zero baseline throughput cannot divide-by-zero", 0,
+         {"a": bench(0.0)}, {"a": bench(0.0)}),
+    ]
+    ok = True
+    for desc, want, base, cur in cases:
+        got = run(base, cur)
+        status = "ok" if got == want else f"FAIL (got {got}, want {want})"
+        if got != want:
+            ok = False
+        print(f"  self-test: {desc}: {status}")
+    print("self-test " + ("passed" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max allowed fractional throughput drop (default 0.30)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in comparison-logic checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("baseline and current are required (or use --self-test)")
+
+    rc = diff(load(args.baseline), load(args.current), args.threshold)
+    if rc == 2:
+        print(f"(current run: {args.current}, baseline: {args.baseline})")
+    return rc
 
 
 if __name__ == "__main__":

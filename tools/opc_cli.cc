@@ -1,4 +1,4 @@
-// opc — command-line driver for the simulation library.
+// opc — command-line driver for the simulation library and the serving path.
 //
 // Runs any experiment the benches run, but parameterized from the command
 // line and with optional CSV output, so new studies don't need a recompile:
@@ -7,19 +7,25 @@
 //   opc storm  --proto all --net-latency-us 5000 --csv
 //   opc mixed  --nodes 8 --dirs 16 --ops 5000 --renames 0.1
 //   opc sweep  --param disk-bw --values 102400,409600,1638400 --csv
+//   opc serve  --protocol 1pc --nodes 3 --uds /tmp/opc.sock
+//   opc loadgen --uds /tmp/opc.sock --rate 20000 --duration 10s
 //   opc timeline --proto prc
 //   opc table1
 //
 // Run `opc help` for the full reference.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chaos/explorer.h"
 #include "chaos/shrinker.h"
+#include "cli_flags.h"
 #include "core/experiment.h"
 #include "core/sweep.h"
 #include "core/timeline.h"
@@ -28,88 +34,21 @@
 #include "obs/export_chrome.h"
 #include "obs/report.h"
 #include "report/bench_report.h"
+#include "rpc/loadgen.h"
+#include "rpc/server.h"
 #include "rt/rt_cluster.h"
 #include "stats/table.h"
 
 namespace {
 
 using namespace opc;
+using cli::Args;
+using cli::CommonFlags;
+using cli::parse_common;
+using cli::parse_protocols;
 
-// ---------------------------------------------------------------------------
-// Tiny argument parser: --key value pairs after the subcommand.
-// ---------------------------------------------------------------------------
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc;) {
-      if (std::strncmp(argv[i], "--", 2) != 0) {
-        // Bare tokens are positional operands (e.g. the output file of
-        // `opc trace --export chrome out.json`, or the two inputs of
-        // `opc trace diff A.json B.json`).
-        pos_.emplace_back(argv[i]);
-        i += 1;
-        continue;
-      }
-      // `--flag value` consumes two arguments; a `--flag` followed by
-      // another `--flag` (or nothing) is boolean (e.g. --csv --smoke).
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        kv_[argv[i] + 2] = argv[i + 1];
-        i += 2;
-      } else {
-        kv_[argv[i] + 2] = "true";
-        i += 1;
-      }
-    }
-  }
-
-  [[nodiscard]] bool ok() const { return ok_; }
-  [[nodiscard]] std::string str(const std::string& key,
-                                const std::string& dflt) const {
-    auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : it->second;
-  }
-  [[nodiscard]] std::int64_t num(const std::string& key,
-                                 std::int64_t dflt) const {
-    auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : std::atoll(it->second.c_str());
-  }
-  [[nodiscard]] double real(const std::string& key, double dflt) const {
-    auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : std::atof(it->second.c_str());
-  }
-  [[nodiscard]] bool flag(const std::string& key) const {
-    auto it = kv_.find(key);
-    return it != kv_.end() && it->second != "false" && it->second != "0";
-  }
-  [[nodiscard]] const std::vector<std::string>& positionals() const {
-    return pos_;
-  }
-
- private:
-  std::map<std::string, std::string> kv_;
-  std::vector<std::string> pos_;
-  bool ok_ = true;
-};
-
-bool parse_protocols(const std::string& s, std::vector<ProtocolKind>& out) {
-  if (s == "all") {
-    out.assign(std::begin(kAllProtocols), std::end(kAllProtocols));
-    return true;
-  }
-  if (s == "all+") {
-    out.assign(std::begin(kAllProtocolsExt), std::end(kAllProtocolsExt));
-    return true;
-  }
-  if (s == "prn") out = {ProtocolKind::kPrN};
-  else if (s == "prc") out = {ProtocolKind::kPrC};
-  else if (s == "ep") out = {ProtocolKind::kEP};
-  else if (s == "1pc") out = {ProtocolKind::kOnePC};
-  else if (s == "pra") out = {ProtocolKind::kPrA};
-  else return false;
-  return true;
-}
-
-ExperimentConfig config_from_args(const Args& a, ProtocolKind proto) {
+ExperimentConfig config_from_args(const Args& a, const CommonFlags& cf,
+                                  ProtocolKind proto) {
   ExperimentConfig cfg = paper_fig6_config(proto);
   cfg.cluster.n_nodes = static_cast<std::uint32_t>(a.num("nodes", 2));
   cfg.cluster.net.latency = Duration::micros(a.num("net-latency-us", 100));
@@ -117,12 +56,14 @@ ExperimentConfig config_from_args(const Args& a, ProtocolKind proto) {
   cfg.cluster.wal.force_pad_to =
       static_cast<std::uint64_t>(a.num("block", 8192));
   cfg.cluster.wal.group_commit = a.flag("group-commit");
-  cfg.cluster.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  cfg.cluster.seed = cf.seed;
   cfg.source.concurrency =
       static_cast<std::uint32_t>(a.num("concurrency", 100));
-  cfg.run_for = Duration::seconds(a.num("seconds", 30));
-  cfg.warmup = Duration::seconds(std::max<std::int64_t>(
-      1, a.num("warmup", a.num("seconds", 30) / 6)));
+  cfg.run_for = cf.duration;
+  const auto run_secs =
+      static_cast<std::int64_t>(cf.duration.to_seconds_f());
+  cfg.warmup = Duration::seconds(
+      std::max<std::int64_t>(1, a.num("warmup", run_secs / 6)));
   cfg.n_directories = static_cast<std::uint32_t>(a.num("dirs", 1));
   if (a.num("crash-period-ms", 0) > 0) {
     cfg.crash_period = Duration::millis(a.num("crash-period-ms", 0));
@@ -154,27 +95,24 @@ void print_results(const std::vector<ProtocolKind>& protos,
              stdout);
 }
 
-int cmd_storm(const Args& a, bool batch_mode) {
-  std::vector<ProtocolKind> protos;
-  if (!parse_protocols(a.str("proto", "all"), protos)) {
-    std::fprintf(stderr, "unknown --proto (prn|prc|ep|1pc|pra|all|all+)\n");
-    return 2;
-  }
+int run_storm_cmd(const Args& a, bool batch_mode) {
+  CommonFlags cf;
+  if (!parse_common(a, "all", 30, cf)) return 2;
   const auto batch = static_cast<std::uint32_t>(a.num("batch", 1));
   const auto results = ParallelSweep::map<ProtocolKind, ExperimentResult>(
-      protos, [&](const ProtocolKind& p) {
-        ExperimentConfig cfg = config_from_args(a, p);
+      cf.protocols, [&](const ProtocolKind& p) {
+        ExperimentConfig cfg = config_from_args(a, cf, p);
         if (a.flag("trace-hash")) cfg.trace = true;
         return batch_mode ? run_batched_storm(cfg, batch)
                           : run_create_storm(cfg);
       });
-  print_results(protos, results, a.flag("csv"));
+  print_results(cf.protocols, results, cf.csv);
   if (a.flag("trace-hash")) {
     // The run's full-history FNV hash: equal seeds must print equal hashes
     // (the determinism contract tests/core asserts).
-    for (std::size_t i = 0; i < protos.size(); ++i) {
+    for (std::size_t i = 0; i < cf.protocols.size(); ++i) {
       std::printf("trace_hash %s 0x%016llx\n",
-                  std::string(protocol_name(protos[i])).c_str(),
+                  std::string(protocol_name(cf.protocols[i])).c_str(),
                   static_cast<unsigned long long>(results[i].trace_hash));
     }
   }
@@ -184,16 +122,19 @@ int cmd_storm(const Args& a, bool batch_mode) {
   return 0;
 }
 
+int cmd_storm(const Args& a) { return run_storm_cmd(a, /*batch_mode=*/false); }
+int cmd_batch(const Args& a) { return run_storm_cmd(a, /*batch_mode=*/true); }
+
 int cmd_mixed(const Args& a) {
-  std::vector<ProtocolKind> protos;
-  if (!parse_protocols(a.str("proto", "1pc"), protos)) return 2;
+  CommonFlags cf;
+  if (!parse_common(a, "1pc", 30, cf)) return 2;
   MixedSource::Mix mix;
   mix.create = a.real("creates", 0.6);
   mix.remove = a.real("deletes", 0.25);
   const auto dirs = static_cast<std::uint32_t>(a.num("dirs", 8));
   const auto results = ParallelSweep::map<ProtocolKind, ExperimentResult>(
-      protos, [&](const ProtocolKind& p) {
-        ExperimentConfig cfg = config_from_args(a, p);
+      cf.protocols, [&](const ProtocolKind& p) {
+        ExperimentConfig cfg = config_from_args(a, cf, p);
         if (cfg.cluster.n_nodes < 3) cfg.cluster.n_nodes = 4;
         cfg.cluster.record_history = true;
         cfg.source.concurrency =
@@ -201,7 +142,7 @@ int cmd_mixed(const Args& a) {
         cfg.source.max_ops = static_cast<std::uint64_t>(a.num("ops", 2000));
         return run_mixed(cfg, mix, dirs);
       });
-  print_results(protos, results, a.flag("csv"));
+  print_results(cf.protocols, results, cf.csv);
   return 0;
 }
 
@@ -223,8 +164,8 @@ int cmd_sweep(const Args& a) {
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
-  std::vector<ProtocolKind> protos;
-  if (!parse_protocols(a.str("proto", "all"), protos)) return 2;
+  CommonFlags cf;
+  if (!parse_common(a, "all", 30, cf)) return 2;
 
   struct Cell {
     double value;
@@ -232,11 +173,11 @@ int cmd_sweep(const Args& a) {
   };
   std::vector<Cell> cells;
   for (double v : vals) {
-    for (ProtocolKind p : protos) cells.push_back({v, p});
+    for (ProtocolKind p : cf.protocols) cells.push_back({v, p});
   }
   const auto results = ParallelSweep::map<Cell, ExperimentResult>(
       cells, [&](const Cell& c) {
-        ExperimentConfig cfg = config_from_args(a, c.proto);
+        ExperimentConfig cfg = config_from_args(a, cf, c.proto);
         if (param == "net-latency-us") {
           cfg.cluster.net.latency =
               Duration::micros(static_cast<std::int64_t>(c.value));
@@ -258,8 +199,7 @@ int cmd_sweep(const Args& a) {
                    TextTable::num(results[i].ops_per_second, 3),
                    std::to_string(results[i].invariant_violations)});
   }
-  std::fputs(a.flag("csv") ? table.render_csv().c_str()
-                           : table.render().c_str(),
+  std::fputs(cf.csv ? table.render_csv().c_str() : table.render().c_str(),
              stdout);
   return 0;
 }
@@ -426,17 +366,13 @@ struct TracedStorm {
 /// Takes the same cluster/workload flags as `opc storm`, but defaults to a
 /// short window — tracing keeps every event in memory.
 bool run_traced_storm(const Args& a, TracedStorm& out) {
-  std::vector<ProtocolKind> protos;
-  if (!parse_protocols(a.str("proto", "1pc"), protos) || protos.size() != 1) {
+  CommonFlags cf;
+  if (!parse_common(a, "1pc", 2, cf) || cf.protocols.size() != 1) {
     std::fprintf(stderr, "trace needs one --proto (prn|prc|ep|1pc|pra)\n");
     return false;
   }
-  out.proto = protos[0];
-  ExperimentConfig cfg = config_from_args(a, out.proto);
-  if (a.num("seconds", -1) < 0) {
-    cfg.run_for = Duration::seconds(2);
-    cfg.warmup = Duration::seconds(1);
-  }
+  out.proto = cf.protocols[0];
+  ExperimentConfig cfg = config_from_args(a, cf, out.proto);
   cfg.trace = true;
   out.result = run_create_storm(cfg);
   out.spans = obs::assemble_spans(out.result.trace_events, &out.result.phases);
@@ -572,17 +508,13 @@ int cmd_trace(const Args& a) {
 // ---------------------------------------------------------------------------
 
 int cmd_rtstorm(const Args& a) {
-  std::vector<ProtocolKind> protos;
-  if (!parse_protocols(a.str("protocol", a.str("proto", "1pc")), protos)) {
-    std::fprintf(stderr,
-                 "unknown --protocol (prn|prc|ep|1pc|pra|all|all+)\n");
-    return 2;
-  }
+  CommonFlags cf;
+  if (!parse_common(a, "1pc", 0, cf)) return 2;
   const bool smoke = a.flag("smoke");
 
   RtClusterConfig base;
   base.n_nodes = static_cast<std::uint32_t>(a.num("nodes", 2));
-  base.seed = static_cast<std::uint64_t>(a.num("seed", 1));
+  base.seed = cf.seed;
   base.net.latency = Duration::micros(a.num("net-latency-us", 100));
   // Real seconds, not simulated ones: default to a device fast enough that
   // a live run finishes promptly; --disk-bw restores the paper's 400 KB/s.
@@ -594,10 +526,9 @@ int cmd_rtstorm(const Args& a) {
       a.num("ops", smoke ? 50 : 2000));  // per node
   const auto concurrency =
       static_cast<std::uint32_t>(a.num("concurrency", smoke ? 8 : 32));
-  const Duration max_wall = Duration::seconds(a.num("seconds", 0));
-  const std::string json_path = a.str("json", "");
-  if (!json_path.empty() && protos.size() != 1) {
-    std::fprintf(stderr, "--json needs a single --protocol\n");
+  const Duration max_wall = cf.duration;
+  if (!cf.report.empty() && cf.protocols.size() != 1) {
+    std::fprintf(stderr, "--report needs a single --protocol\n");
     return 2;
   }
 
@@ -605,7 +536,7 @@ int cmd_rtstorm(const Args& a) {
   TextTable table({"protocol", "ops_per_second", "committed", "aborted",
                    "p50_latency_ms", "p99_latency_ms", "wall_seconds",
                    "invariant_violations"});
-  for (ProtocolKind p : protos) {
+  for (ProtocolKind p : cf.protocols) {
     RtClusterConfig cfg = base;
     cfg.protocol = p;
     const StormPlan plan = make_storm_plan(cfg.n_nodes, ops);
@@ -623,7 +554,7 @@ int cmd_rtstorm(const Args& a) {
          TextTable::num(res.wall_seconds, 3),
          std::to_string(violations.size())});
 
-    if (!json_path.empty()) {
+    if (!cf.report.empty()) {
       obs::ReportInputs in;
       in.meta.protocol = std::string(protocol_name(p));
       in.meta.workload = "rtstorm";
@@ -636,15 +567,226 @@ int cmd_rtstorm(const Args& a) {
       in.committed = static_cast<std::int64_t>(res.committed);
       in.aborted = static_cast<std::int64_t>(res.aborted);
       in.ops_per_second = res.ops_per_second;
-      if (!write_file(json_path, obs::report_to_json(obs::build_report(in)))) {
+      if (!write_file(cf.report,
+                      obs::report_to_json(obs::build_report(in)))) {
         return 2;
       }
     }
   }
-  std::fputs(a.flag("csv") ? table.render_csv().c_str()
-                           : table.render().c_str(),
+  std::fputs(cf.csv ? table.render_csv().c_str() : table.render().c_str(),
              stdout);
   return rc;
+}
+
+// ---------------------------------------------------------------------------
+// opc serve / opc loadgen — the real serving path (docs/SERVING.md).
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_signal(int) { g_serve_stop = 1; }
+
+constexpr const char* kDefaultSock = "/tmp/opc-serve.sock";
+
+int cmd_serve(const Args& a) {
+  CommonFlags cf;
+  if (!parse_common(a, "1pc", 0, cf) || cf.protocols.size() != 1) {
+    std::fprintf(stderr, "serve needs one --protocol (prn|prc|ep|1pc|pra)\n");
+    return 2;
+  }
+
+  RtClusterConfig cfg;
+  cfg.protocol = cf.protocols[0];
+  cfg.n_nodes = static_cast<std::uint32_t>(a.num("nodes", 3));
+  cfg.seed = cf.seed;
+  cfg.net.latency = Duration::micros(a.num("net-latency-us", 0));
+  // Serving default: a device that sustains tens of thousands of 8 KiB
+  // commit forces per second (NVMe-class), so the socket path — not the
+  // modeled disk — is what a loadgen measures.  --disk-bw dials it down.
+  cfg.disk.bytes_per_second = a.real("disk-bw", 2.0 * 1024 * 1024 * 1024);
+  cfg.wal.force_pad_to = static_cast<std::uint64_t>(a.num("block", 8192));
+  cfg.wal.group_commit = a.flag("group-commit");
+
+  RtCluster cluster(cfg);
+  // Bootstrap the hot directories the StridedPartitioner serves: ids
+  // 1..n_nodes, homed on nodes 0..n-1 (same namespace as rtstorm plans).
+  for (std::uint32_t i = 0; i < cfg.n_nodes; ++i) {
+    cluster.bootstrap_directory(ObjectId(i + 1), NodeId(i));
+  }
+
+  rpc::RpcServerConfig scfg;
+  scfg.uds_path = a.str("uds", "");
+  scfg.tcp = a.flag("tcp") || a.has("port");
+  scfg.tcp_port = static_cast<std::uint16_t>(a.num("port", 0));
+  if (scfg.uds_path.empty() && !scfg.tcp) scfg.uds_path = kDefaultSock;
+  scfg.event_threads = static_cast<std::uint32_t>(a.num("event-threads", 1));
+  scfg.max_inflight = static_cast<std::uint32_t>(a.num("max-inflight", 1024));
+  if (a.num("timeout-ms", 0) > 0) {
+    scfg.request_timeout = Duration::millis(a.num("timeout-ms", 0));
+  }
+
+  rpc::RpcServer server(cluster, scfg);
+  if (!server.start()) return 2;
+  std::printf("serving %s on %s%s (nodes=%u, max-inflight=%u)\n",
+              std::string(protocol_name(cfg.protocol)).c_str(),
+              scfg.uds_path.empty() ? "tcp 127.0.0.1:" : scfg.uds_path.c_str(),
+              scfg.uds_path.empty()
+                  ? std::to_string(server.tcp_port()).c_str()
+                  : "",
+              cfg.n_nodes, scfg.max_inflight);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, serve_signal);
+  std::signal(SIGTERM, serve_signal);
+  const auto start = std::chrono::steady_clock::now();
+  const bool bounded = cf.duration > Duration::zero();
+  while (g_serve_stop == 0) {
+    if (bounded && std::chrono::steady_clock::now() - start >=
+                       std::chrono::nanoseconds(cf.duration.count_nanos())) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.stop();
+  cluster.env().wait_idle();
+
+  // Quiescent now: fold per-node engine results and server counters.
+  Histogram latency;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  for (std::uint32_t i = 0; i < cfg.n_nodes; ++i) {
+    AcpEngine& e = cluster.node(NodeId(i)).engine();
+    latency.merge(e.client_latency());
+    committed += e.committed_count();
+    aborted += e.aborted_count();
+  }
+  StatsRegistry stats;
+  server.export_stats(stats);
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  TextTable table({"protocol", "committed", "aborted", "busy_shed",
+                   "p50_latency_ms", "p99_latency_ms", "wall_seconds"});
+  table.add_row(
+      {std::string(protocol_name(cfg.protocol)), std::to_string(committed),
+       std::to_string(aborted), std::to_string(server.busy_count()),
+       TextTable::num(latency.quantile_duration(0.5).to_millis_f(), 2),
+       TextTable::num(latency.quantile_duration(0.99).to_millis_f(), 2),
+       TextTable::num(wall, 3)});
+  std::fputs(cf.csv ? table.render_csv().c_str() : table.render().c_str(),
+             stdout);
+
+  if (!cf.report.empty()) {
+    obs::ReportInputs in;
+    in.meta.protocol = std::string(protocol_name(cfg.protocol));
+    in.meta.workload = "serve";
+    in.meta.seed = cfg.seed;
+    in.meta.nodes = static_cast<int>(cfg.n_nodes);
+    in.meta.sim_duration_ns = static_cast<std::int64_t>(wall * 1e9);
+    in.stats = &stats;
+    in.latency = &latency;
+    in.committed = static_cast<std::int64_t>(committed);
+    in.aborted = static_cast<std::int64_t>(aborted);
+    in.ops_per_second = wall > 0 ? (committed + aborted) / wall : 0.0;
+    if (!write_file(cf.report, obs::report_to_json(obs::build_report(in)))) {
+      return 2;
+    }
+  }
+  return 0;
+}
+
+int cmd_loadgen(const Args& a) {
+  CommonFlags cf;
+  if (!parse_common(a, "1pc", 10, cf) || cf.protocols.size() != 1) {
+    std::fprintf(stderr,
+                 "loadgen labels its report with one --protocol "
+                 "(prn|prc|ep|1pc|pra)\n");
+    return 2;
+  }
+
+  rpc::LoadgenConfig lc;
+  lc.uds_path = a.str("uds", "");
+  lc.tcp_port = static_cast<std::uint16_t>(a.num("port", 0));
+  if (lc.uds_path.empty() && lc.tcp_port == 0) lc.uds_path = kDefaultSock;
+  lc.threads = static_cast<std::uint32_t>(a.num("threads", 4));
+  lc.rate = a.real("rate", 10000.0);
+  lc.duration = cf.duration;
+  lc.seed = cf.seed;
+  lc.n_dirs = static_cast<std::uint32_t>(a.num("dirs", 3));
+  lc.zipf_s = a.real("zipf", 0.0);
+  lc.create_weight = a.real("creates", 0.8);
+  lc.mkdir_weight = a.real("mkdirs", 0.1);
+  lc.rename_weight = a.real("renames", 0.1);
+
+  const rpc::LoadgenResult res = rpc::run_loadgen(lc);
+  if (res.transport_errors > 0) {
+    std::fprintf(stderr, "loadgen transport error: %s\n", res.error.c_str());
+  }
+
+  TextTable table({"offered_rate", "achieved_rate", "sent", "ok", "aborted",
+                   "busy", "errors", "lost", "p50_ms", "p95_ms", "p99_ms",
+                   "p999_ms"});
+  const auto ms = [&res](double q) {
+    return TextTable::num(res.latency.quantile_duration(q).to_millis_f(), 3);
+  };
+  table.add_row({TextTable::num(res.offered_rate, 0),
+                 TextTable::num(res.achieved_rate, 0),
+                 std::to_string(res.sent), std::to_string(res.ok),
+                 std::to_string(res.aborted), std::to_string(res.busy),
+                 std::to_string(res.not_found + res.bad_request +
+                                res.timeouts + res.shutdown +
+                                res.transport_errors),
+                 std::to_string(res.lost), ms(0.5), ms(0.95), ms(0.99),
+                 ms(0.999)});
+  std::fputs(cf.csv ? table.render_csv().c_str() : table.render().c_str(),
+             stdout);
+
+  if (!cf.report.empty()) {
+    StatsRegistry stats;
+    stats.set("loadgen.sent", static_cast<std::int64_t>(res.sent));
+    stats.set("loadgen.ok", static_cast<std::int64_t>(res.ok));
+    stats.set("loadgen.aborted", static_cast<std::int64_t>(res.aborted));
+    stats.set("loadgen.busy", static_cast<std::int64_t>(res.busy));
+    stats.set("loadgen.not_found", static_cast<std::int64_t>(res.not_found));
+    stats.set("loadgen.bad_request",
+              static_cast<std::int64_t>(res.bad_request));
+    stats.set("loadgen.timeouts", static_cast<std::int64_t>(res.timeouts));
+    stats.set("loadgen.shutdown", static_cast<std::int64_t>(res.shutdown));
+    stats.set("loadgen.skipped", static_cast<std::int64_t>(res.skipped));
+    stats.set("loadgen.transport_errors",
+              static_cast<std::int64_t>(res.transport_errors));
+    obs::ReportInputs in;
+    in.meta.protocol = std::string(protocol_name(cf.protocols[0]));
+    in.meta.workload = "loadgen";
+    in.meta.seed = cf.seed;
+    in.meta.nodes = static_cast<int>(a.num("nodes", 0));
+    in.meta.sim_duration_ns =
+        static_cast<std::int64_t>(res.wall_seconds * 1e9);
+    in.stats = &stats;
+    in.latency = &res.latency;
+    in.committed = static_cast<std::int64_t>(res.ok);
+    in.aborted = static_cast<std::int64_t>(res.aborted);
+    in.lost = static_cast<std::int64_t>(res.lost);
+    in.ops_per_second = res.achieved_rate;
+    if (!write_file(cf.report, obs::report_to_json(obs::build_report(in)))) {
+      return 2;
+    }
+  }
+
+  if (res.transport_errors > 0) return 2;
+  if (res.hard_failures() > 0) return 1;
+  const double p99_bound_ms = a.real("max-p99-ms", 0.0);
+  if (p99_bound_ms > 0 &&
+      res.latency.quantile_duration(0.99).to_millis_f() > p99_bound_ms) {
+    std::fprintf(stderr, "p99 %.3f ms exceeds --max-p99-ms %.3f\n",
+                 res.latency.quantile_duration(0.99).to_millis_f(),
+                 p99_bound_ms);
+    return 1;
+  }
+  return 0;
 }
 
 int cmd_bench(const Args& a) {
@@ -674,7 +816,7 @@ int cmd_timeline(const Args& a) {
   return 0;
 }
 
-int cmd_table1() {
+int cmd_table1(const Args&) {
   TextTable table({"protocol", "total (sync,async)", "critical (sync,async)",
                    "total msgs", "critical msgs"});
   for (ProtocolKind p : kAllProtocolsExt) {
@@ -691,32 +833,58 @@ int cmd_table1() {
   return 0;
 }
 
-int cmd_help() {
+int cmd_help(const Args&);
+
+// ---------------------------------------------------------------------------
+// Verb registry: dispatch and the help listing are generated from the same
+// table, so `opc help` cannot silently miss a verb (the CLI smoke test
+// asserts each name below appears in the output).
+// ---------------------------------------------------------------------------
+struct Verb {
+  const char* name;
+  const char* summary;
+  int (*fn)(const Args&);
+};
+
+const Verb kVerbs[] = {
+    {"storm", "create storm into hot directories (the paper's Fig. 6)",
+     cmd_storm},
+    {"batch", "storm with aggregated transactions (--batch N)", cmd_batch},
+    {"mixed", "mixed CREATE/DELETE/RENAME over a hash-partitioned tree",
+     cmd_mixed},
+    {"sweep", "parameter sweep (--param X --values a,b,c)", cmd_sweep},
+    {"rtstorm", "live storm on the real-time threaded backend", cmd_rtstorm},
+    {"serve", "serve an RtCluster over UDS/TCP (docs/SERVING.md)", cmd_serve},
+    {"loadgen", "open-loop load generator against a running opc serve",
+     cmd_loadgen},
+    {"chaos", "property-based fault-schedule exploration", cmd_chaos},
+    {"bench", "kernel benchmark report (--json FILE, --smoke)", cmd_bench},
+    {"trace", "traced storm -> causal spans + run report", cmd_trace},
+    {"timeline", "message/log-write chart of one CREATE (Figs. 2-5)",
+     cmd_timeline},
+    {"table1", "per-protocol cost counters (Table I, + PrA extension)",
+     cmd_table1},
+    {"help", "this text", cmd_help},
+};
+
+int cmd_help(const Args&) {
+  std::puts("opc — One Phase Commit metadata-service simulator\n");
+  std::puts("subcommands:");
+  for (const Verb& v : kVerbs) {
+    std::printf("  %-9s %s\n", v.name, v.summary);
+  }
   std::puts(
-      "opc — One Phase Commit metadata-service simulator\n"
       "\n"
-      "subcommands:\n"
-      "  storm     create storm into hot directories (the paper's Fig. 6)\n"
-      "  batch     storm with aggregated transactions (--batch N)\n"
-      "  mixed     mixed CREATE/DELETE/RENAME over a hash-partitioned tree\n"
-      "  sweep     parameter sweep (--param X --values a,b,c)\n"
-      "  rtstorm   live storm on the real-time threaded backend\n"
-      "            (docs/RUNTIME.md; same engines, real clock)\n"
-      "  chaos     property-based fault-schedule exploration\n"
-      "  bench     kernel benchmark report (--json BENCH_kernel.json,\n"
-      "            --smoke for a single quick pass); compare against\n"
-      "            bench/baselines/ with tools/bench_diff.py\n"
-      "  trace     traced storm -> causal spans + run report\n"
-      "            (docs/OBSERVABILITY.md)\n"
-      "  timeline  message/log-write chart of one CREATE (Figs. 2-5)\n"
-      "  table1    per-protocol cost counters (Table I, + PrA extension)\n"
-      "  help      this text\n"
+      "common flags (every traffic verb):\n"
+      "  --protocol|--proto prn|prc|ep|1pc|pra|all|all+\n"
+      "  --seed 1           deterministic workload seed\n"
+      "  --duration 10s     run window (10s, 500ms, ...; or --seconds N)\n"
+      "  --report FILE      write the run's RunReport JSON\n"
+      "  --csv              machine-readable output\n"
       "\n"
-      "common flags (with defaults):\n"
-      "  --proto prn|prc|ep|1pc|pra|all|all+   (all = paper's four)\n"
+      "storm/mixed/sweep flags (with defaults):\n"
       "  --nodes 2          metadata servers\n"
       "  --concurrency 100  outstanding client operations\n"
-      "  --seconds 30       measured simulated time (+ --warmup)\n"
       "  --dirs 1           hot directories (all on mds0)\n"
       "  --net-latency-us 100\n"
       "  --disk-bw 409600   log device bytes/second\n"
@@ -725,17 +893,32 @@ int cmd_help() {
       "  --crash-period-ms 0  inject worker crashes on a period\n"
       "  --batch 1          creates per transaction (batch subcommand)\n"
       "  --trace-hash       print the run's history hash (storm)\n"
-      "  --csv              machine-readable output\n"
       "\n"
       "rtstorm flags (with defaults):\n"
-      "  --protocol 1pc     prn|prc|ep|1pc|pra|all|all+\n"
       "  --nodes 2          one worker thread per node\n"
       "  --ops 2000         creates per node (fixed-count closed loop)\n"
       "  --concurrency 32   outstanding transactions per node\n"
-      "  --seconds 0        wall-clock deadline (0 = run the plan out)\n"
       "  --disk-bw 4194304  modeled log-device bytes/second (real delays)\n"
       "  --smoke            small fast run (50 ops, concurrency 8)\n"
-      "  --json FILE        write the run's REPORT.json (one protocol)\n"
+      "\n"
+      "serve flags (with defaults):\n"
+      "  --nodes 3          cluster size (one worker thread per node)\n"
+      "  --uds /tmp/opc-serve.sock   Unix-domain listen path\n"
+      "  --port 0 | --tcp   listen on 127.0.0.1 (0 = ephemeral)\n"
+      "  --max-inflight 1024  admitted requests before BUSY shedding\n"
+      "  --event-threads 1  poll loops\n"
+      "  --timeout-ms 0     server-side request deadline (0 = off)\n"
+      "  --disk-bw 2147483648  modeled log device (NVMe-class default)\n"
+      "  --duration 0       serve window (0 = until SIGINT)\n"
+      "\n"
+      "loadgen flags (with defaults):\n"
+      "  --uds /tmp/opc-serve.sock | --port P   target server\n"
+      "  --rate 10000       offered ops/second (open loop, Poisson)\n"
+      "  --threads 4        client connections\n"
+      "  --dirs 3           hot directories 1..N (must be served)\n"
+      "  --zipf 0           directory skew exponent (0 = uniform)\n"
+      "  --creates 0.8 --mkdirs 0.1 --renames 0.1   op mix\n"
+      "  --max-p99-ms 0     fail the run above this p99 (0 = off)\n"
       "\n"
       "chaos flags (with defaults):\n"
       "  --protocol 1pc     one protocol per exploration\n"
@@ -761,19 +944,14 @@ int cmd_help() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return cmd_help();
-  const std::string cmd = argv[1];
+  const std::string cmd = argc < 2 ? "help" : argv[1];
   const Args args(argc, argv, 2);
   if (!args.ok()) return 2;
-  if (cmd == "storm") return cmd_storm(args, /*batch_mode=*/false);
-  if (cmd == "batch") return cmd_storm(args, /*batch_mode=*/true);
-  if (cmd == "mixed") return cmd_mixed(args);
-  if (cmd == "sweep") return cmd_sweep(args);
-  if (cmd == "chaos") return cmd_chaos(args);
-  if (cmd == "rtstorm") return cmd_rtstorm(args);
-  if (cmd == "bench") return cmd_bench(args);
-  if (cmd == "trace") return cmd_trace(args);
-  if (cmd == "timeline") return cmd_timeline(args);
-  if (cmd == "table1") return cmd_table1();
-  return cmd_help();
+  for (const Verb& v : kVerbs) {
+    if (cmd == v.name) return v.fn(args);
+  }
+  if (cmd == "--help" || cmd == "-h") return cmd_help(args);
+  std::fprintf(stderr, "unknown subcommand '%s'\n\n", cmd.c_str());
+  cmd_help(args);
+  return 2;
 }
