@@ -15,7 +15,15 @@ AcpEngine::AcpEngine(Env& env, NodeId self, ProtocolKind proto,
                      HistoryRecorder* history, obs::PhaseLog* phases)
     : env_(env), self_(self), proto_(proto), cfg_(cfg), net_(net), wal_(wal),
       locks_(locks), store_(store), storage_(storage), stats_(stats),
-      trace_(trace), fencing_(fencing), history_(history), phases_(phases) {}
+      trace_(trace), fencing_(fencing), history_(history), phases_(phases),
+      c_msg_total_(stats, "acp.msg.total"),
+      c_msgs_extra_(stats, "acp.msgs.extra"),
+      c_committed_(stats, "acp.committed"),
+      c_aborted_(stats, "acp.aborted"),
+      c_submitted_{Counter(stats, "acp.submitted.CREATE"),
+                   Counter(stats, "acp.submitted.DELETE"),
+                   Counter(stats, "acp.submitted.RENAME"),
+                   Counter(stats, "acp.submitted.CUSTOM")} {}
 
 // ---------------------------------------------------------------------------
 // Shared helpers
@@ -28,19 +36,51 @@ TxnId AcpEngine::make_txn_id() {
 }
 
 AcpEngine::CoordTxn* AcpEngine::coord_of(TxnId id) {
-  auto it = coord_.find(id);
-  return it == coord_.end() ? nullptr : &it->second;
+  CoordTxn* const* p = coord_.find(id);
+  return p == nullptr ? nullptr : *p;
 }
 
 AcpEngine::WorkTxn* AcpEngine::work_of(TxnId id) {
-  auto it = work_.find(id);
-  return it == work_.end() ? nullptr : &it->second;
+  WorkTxn* const* p = work_.find(id);
+  return p == nullptr ? nullptr : *p;
+}
+
+AcpEngine::CoordTxn& AcpEngine::new_coord(TxnId id) {
+  CoordTxn* ct = coord_pool_.acquire();
+  ct->reset();
+  auto [slot, inserted] = coord_.try_emplace(id, ct);
+  SIM_CHECK(inserted);
+  return *ct;
+}
+
+AcpEngine::WorkTxn& AcpEngine::new_work(TxnId id) {
+  WorkTxn* wt = work_pool_.acquire();
+  wt->reset();
+  auto [slot, inserted] = work_.try_emplace(id, wt);
+  SIM_CHECK(inserted);
+  return *wt;
+}
+
+void AcpEngine::destroy_coord(TxnId id) {
+  if (CoordTxn** p = coord_.find(id)) {
+    CoordTxn* ct = *p;
+    coord_.erase(id);
+    coord_pool_.release(ct);
+  }
+}
+
+void AcpEngine::destroy_work(TxnId id) {
+  if (WorkTxn** p = work_.find(id)) {
+    WorkTxn* wt = *p;
+    work_.erase(id);
+    work_pool_.release(wt);
+  }
 }
 
 std::optional<TxnOutcome> AcpEngine::outcome_of(TxnId txn) const {
-  auto it = finished_.find(txn);
-  if (it == finished_.end()) return std::nullopt;
-  return it->second;
+  const TxnOutcome* p = finished_.find(txn);
+  if (p == nullptr) return std::nullopt;
+  return *p;
 }
 
 LockMode AcpEngine::mode_for(const std::vector<Operation>& ops, ObjectId obj) {
@@ -53,6 +93,13 @@ LockMode AcpEngine::mode_for(const std::vector<Operation>& ops, ObjectId obj) {
 std::vector<ObjectId> AcpEngine::sorted_objects(
     const std::vector<Operation>& ops) const {
   std::vector<ObjectId> out;
+  sorted_objects_into(ops, out);
+  return out;
+}
+
+void AcpEngine::sorted_objects_into(const std::vector<Operation>& ops,
+                                    std::vector<ObjectId>& out) const {
+  out.clear();
   for (const Operation& op : ops) {
     if (op.target.valid() &&
         std::find(out.begin(), out.end(), op.target) == out.end()) {
@@ -62,7 +109,6 @@ std::vector<ObjectId> AcpEngine::sorted_objects(
   // Canonical order prevents lock-order deadlocks between transactions that
   // meet on the same node.
   std::sort(out.begin(), out.end());
-  return out;
 }
 
 void AcpEngine::record_accesses(TxnId txn,
@@ -113,18 +159,18 @@ LogRecord AcpEngine::update_record(TxnId txn,
 
 void AcpEngine::send(NodeId to, Msg m, bool extra, bool critical) {
   m.from = self_;
-  stats_.add("acp.msg.total");
+  c_msg_total_.add();
   if (extra) {
-    stats_.add("acp.msgs.extra");
+    c_msgs_extra_.add();
     if (critical) stats_.add("acp.msgs.extra_critical");
   }
   Envelope env;
   env.from = self_;
   env.to = to;
-  env.kind = std::string(msg_type_name(m.type));
+  env.kind = msg_type_name(m.type);  // ≤15 chars: SSO, no allocation
   env.txn = m.txn;
   env.size_bytes = msg_wire_size(m);
-  env.payload = std::move(m);
+  env.payload.emplace<Msg>(std::move(m));
   net_.send(std::move(env));
 }
 
@@ -159,28 +205,28 @@ TxnId AcpEngine::submit(Transaction txn, ClientCallback cb) {
   }
 
   stats_.add("acp.submitted");
-  stats_.add(std::string("acp.submitted.") + namespace_op_name(txn.kind));
+  c_submitted_[static_cast<std::size_t>(txn.kind)].add();
 
-  CoordTxn ct;
+  CoordTxn& ct = new_coord(id);
   ct.txn = std::move(txn);
   ct.proto = choose_protocol(proto_, ct.txn.n_participants());
   ct.cb = std::move(cb);
   ct.submitted = env_.now();
-  auto [it, inserted] = coord_.emplace(id, std::move(ct));
-  SIM_CHECK(inserted);
-  start_coordination(it->second);
+  start_coordination(ct);
   return id;
 }
 
 void AcpEngine::start_coordination(CoordTxn& ct) {
   const TxnId id = ct.txn.id;
-  trace_.record(env_.now(), TraceKind::kTxnBegin, self_.str(),
-                std::string(namespace_op_name(ct.txn.kind)) + " via " +
-                    std::string(protocol_name(ct.proto)) +
-                    (ct.txn.is_local() ? " (local)" : ""),
-                id);
+  if (trace_.active()) {
+    trace_.record(env_.now(), TraceKind::kTxnBegin, self_.str(),
+                  std::string(namespace_op_name(ct.txn.kind)) + " via " +
+                      std::string(protocol_name(ct.proto)) +
+                      (ct.txn.is_local() ? " (local)" : ""),
+                  id);
+  }
   phase_mark(id, obs::PhaseId::kLock, true);
-  ct.lock_objs = sorted_objects(ct.txn.participants.front().ops);
+  sorted_objects_into(ct.txn.participants.front().ops, ct.lock_objs);
   ct.phase = CoordPhase::kLocking;
   acquire_next_lock(id);
 }
@@ -230,10 +276,12 @@ void AcpEngine::acquire_next_lock(TxnId id) {
         locks_.release_all(id);
         if (history_ != nullptr) history_->record_abort(id);
         reply_client(*c, TxnOutcome::kAborted);
-        trace_.record(env_.now(), TraceKind::kTxnAbort, self_.str(),
-                      "lock timeout before start", id);
+        if (trace_.active()) {
+          trace_.record(env_.now(), TraceKind::kTxnAbort, self_.str(),
+                        "lock timeout before start", id);
+        }
         finished_[id] = TxnOutcome::kAborted;
-        coord_.erase(id);
+        destroy_coord(id);
       });
 }
 
@@ -250,7 +298,7 @@ void AcpEngine::run_local_fastpath(TxnId id) {
       if (history_ != nullptr) history_->record_abort(id);
       reply_client(*ct, TxnOutcome::kAborted);
       finished_[id] = TxnOutcome::kAborted;
-      coord_.erase(id);
+      destroy_coord(id);
       return;
     }
   }
@@ -280,7 +328,7 @@ void AcpEngine::run_local_fastpath(TxnId id) {
     if (c == nullptr) return;
     // Single node: one forced write carrying updates + COMMITTED is the
     // whole commit protocol.
-    std::vector<LogRecord> recs;
+    std::vector<LogRecord> recs = wal_.checkout_recs();
     recs.push_back(update_record(id, c->txn.participants.front().ops));
     recs.push_back(state_record(RecordType::kCommitted, id));
     wal_.force(std::move(recs), WriteTag{"local-commit", true},
@@ -302,7 +350,7 @@ void AcpEngine::force_started(TxnId id) {
   CoordTxn* ct = coord_of(id);
   if (ct == nullptr) return;
   ct->phase = CoordPhase::kForcingStart;
-  std::vector<LogRecord> recs;
+  std::vector<LogRecord> recs = wal_.checkout_recs();
   LogRecord started = state_record(RecordType::kStarted, id);
   encode_txn(ct->txn, started.payload);
   recs.push_back(std::move(started));
@@ -398,7 +446,7 @@ void AcpEngine::send_update_reqs(TxnId id) {
   if (ct->proto == ProtocolKind::kEP) {
     // Early Prepare: the coordinator prepares in parallel with the workers'
     // combined update+prepare round.
-    std::vector<LogRecord> recs;
+    std::vector<LogRecord> recs = wal_.checkout_recs();
     recs.push_back(update_record(id, ct->txn.participants.front().ops));
     recs.push_back(state_record(RecordType::kPrepared, id));
     const std::uint64_t epoch = crash_epoch_;
@@ -481,10 +529,10 @@ void AcpEngine::on_updated(TxnId id, const Msg& m) {
     // already resolves that worker, and answering would tax every abort
     // with a redundant message.
     if (!m.nudge) return;
-    auto it = finished_.find(id);
+    const TxnOutcome* fin = finished_.find(id);
     const TxnOutcome out =
-        it != finished_.end()
-            ? it->second
+        fin != nullptr
+            ? *fin
             : ((m.proto == ProtocolKind::kPrC || m.proto == ProtocolKind::kEP)
                    ? TxnOutcome::kCommitted
                    : TxnOutcome::kAborted);
@@ -498,8 +546,8 @@ void AcpEngine::on_updated(TxnId id, const Msg& m) {
   }
   if (ct->aborting) return;
   if (ct->phase != CoordPhase::kUpdating) return;  // stale duplicate
-  ct->updated.insert(m.from.value());
-  if (m.prepared) ct->prepared.insert(m.from.value());
+  ct->updated.insert_unique(m.from.value());
+  if (m.prepared) ct->prepared.insert_unique(m.from.value());
   const std::size_t workers = ct->txn.participants.size() - 1;
   if (ct->updated.size() < workers) return;
   env_.cancel(ct->response_timer);
@@ -531,7 +579,7 @@ void AcpEngine::on_updated(TxnId id, const Msg& m) {
       reply_client(*ct, TxnOutcome::kCommitted);
       ct->phase = CoordPhase::kForcingCommit;
       phase_mark(id, obs::PhaseId::kCommitForce, true);
-      std::vector<LogRecord> recs;
+      std::vector<LogRecord> recs = wal_.checkout_recs();
       recs.push_back(update_record(id, ct->txn.participants.front().ops));
       recs.push_back(state_record(RecordType::kCommitted, id));
       const std::uint64_t epoch = crash_epoch_;
@@ -559,7 +607,7 @@ void AcpEngine::enter_voting(TxnId id) {
          /*critical=*/true);
   }
   if (!ct->own_prepare_durable) {
-    std::vector<LogRecord> recs;
+    std::vector<LogRecord> recs = wal_.checkout_recs();
     recs.push_back(update_record(id, ct->txn.participants.front().ops));
     recs.push_back(state_record(RecordType::kPrepared, id));
     const std::uint64_t epoch = crash_epoch_;
@@ -593,7 +641,7 @@ void AcpEngine::maybe_commit(TxnId id) {
   // EP never entered the vote round; the assembler drops unmatched leaves.
   phase_mark(id, obs::PhaseId::kVoteRound, false);
   phase_mark(id, obs::PhaseId::kCommitForce, true);
-  std::vector<LogRecord> recs;
+  std::vector<LogRecord> recs = wal_.checkout_recs();
   recs.push_back(state_record(RecordType::kCommitted, id));
   const std::uint64_t epoch = crash_epoch_;
   wal_.force(std::move(recs), WriteTag{"commit", /*critical=*/true},
@@ -701,7 +749,9 @@ void AcpEngine::abort_coordination(TxnId id, const std::string& why) {
   SIM_CHECK_MSG(!ct->mem_committed, "abort after commit point");
   ct->aborting = true;
   stats_.add("acp.aborts");
-  trace_.record(env_.now(), TraceKind::kTxnAbort, self_.str(), why, id);
+  if (trace_.active()) {
+    trace_.record(env_.now(), TraceKind::kTxnAbort, self_.str(), why, id);
+  }
   env_.cancel(ct->response_timer);
   ct->response_timer = TimerHandle{};
   store_.abort_txn(id);
@@ -748,9 +798,11 @@ void AcpEngine::reply_client(CoordTxn& ct, TxnOutcome outcome) {
     ++aborted_;
   }
   if (!ct.recovered) latency_.record(env_.now() - ct.submitted);
-  trace_.record(env_.now(), TraceKind::kClientReply, self_.str(),
-                outcome == TxnOutcome::kCommitted ? "committed" : "aborted",
-                ct.txn.id);
+  if (trace_.active()) {
+    trace_.record(env_.now(), TraceKind::kClientReply, self_.str(),
+                  outcome == TxnOutcome::kCommitted ? "committed" : "aborted",
+                  ct.txn.id);
+  }
   if (ct.cb) {
     // Detach from the current call stack so client logic (e.g. a closed
     // loop submitting the next transaction) runs as its own event.
@@ -763,17 +815,22 @@ void AcpEngine::reply_client(CoordTxn& ct, TxnOutcome outcome) {
 void AcpEngine::finish_coordination(TxnId id, TxnOutcome outcome) {
   CoordTxn* ct = coord_of(id);
   if (ct == nullptr) return;
-  trace_.record(env_.now(),
-                outcome == TxnOutcome::kCommitted ? TraceKind::kTxnCommit
-                                                  : TraceKind::kTxnAbort,
-                self_.str(), "finished", id);
-  stats_.add(outcome == TxnOutcome::kCommitted ? "acp.committed"
-                                               : "acp.aborted");
+  if (trace_.active()) {
+    trace_.record(env_.now(),
+                  outcome == TxnOutcome::kCommitted ? TraceKind::kTxnCommit
+                                                    : TraceKind::kTxnAbort,
+                  self_.str(), "finished", id);
+  }
+  if (outcome == TxnOutcome::kCommitted) {
+    c_committed_.add();
+  } else {
+    c_aborted_.add();
+  }
   env_.cancel(ct->response_timer);
   env_.cancel(ct->retry_timer);
   const bool was_recovered = ct->recovered;
   finished_[id] = outcome;
-  coord_.erase(id);
+  destroy_coord(id);
   if (was_recovered && recovery_outstanding_ > 0) {
     --recovery_outstanding_;
     maybe_finish_recovery();
@@ -808,11 +865,11 @@ void AcpEngine::worker_handle_update_req(const Msg& m) {
     }
     return;
   }
-  if (auto it = finished_.find(id); it != finished_.end()) {
+  if (const TxnOutcome* fin = finished_.find(id); fin != nullptr) {
     Msg r;
     r.txn = id;
     r.proto = m.proto;
-    if (it->second == TxnOutcome::kCommitted) {
+    if (*fin == TxnOutcome::kCommitted) {
       r.type = MsgType::kUpdated;
       r.prepared = true;
       r.committed = true;
@@ -825,7 +882,7 @@ void AcpEngine::worker_handle_update_req(const Msg& m) {
   }
 
   stats_.add("acp.worker.update_reqs");
-  WorkTxn wt;
+  WorkTxn& wt = new_work(id);
   wt.id = id;
   wt.coord = m.from;
   wt.proto = m.proto;
@@ -833,10 +890,7 @@ void AcpEngine::worker_handle_update_req(const Msg& m) {
   wt.prepare_on_update = m.piggyback_prepare;
   wt.commit_on_update = m.piggyback_commit;
   wt.phase = WorkPhase::kLocking;
-  wt.lock_objs = sorted_objects(wt.ops);
-  auto [it2, inserted] = work_.emplace(id, std::move(wt));
-  SIM_CHECK(inserted);
-  (void)it2;
+  sorted_objects_into(wt.ops, wt.lock_objs);
   phase_mark(id, obs::PhaseId::kWorkerLock, true);
   worker_acquire_next_lock(id);
 }
@@ -952,7 +1006,7 @@ void AcpEngine::worker_after_updates(TxnId id) {
 void AcpEngine::worker_prepare(TxnId id, bool also_reply_updated) {
   WorkTxn* wt = work_of(id);
   if (wt == nullptr) return;
-  std::vector<LogRecord> recs;
+  std::vector<LogRecord> recs = wal_.checkout_recs();
   recs.push_back(update_record(id, wt->ops));
   LogRecord prepared = state_record(RecordType::kPrepared, id);
   // Remember the coordinator and protocol: a rebooted worker must know whom
@@ -1052,15 +1106,15 @@ void AcpEngine::worker_commit(TxnId id, bool forced_record,
       send(w->coord, std::move(r), /*extra=*/true, /*critical=*/true);
       wal_.partition().truncate_txn(id);
       finished_[id] = TxnOutcome::kCommitted;
-      work_.erase(id);
+      destroy_work(id);
     } else {  // PrC / EP: no acknowledgement
       finished_[id] = TxnOutcome::kCommitted;
-      work_.erase(id);
+      destroy_work(id);
     }
   };
 
   if (forced_record) {
-    std::vector<LogRecord> recs;
+    std::vector<LogRecord> recs = wal_.checkout_recs();
     if (wt->commit_on_update && !wt->recovered) {
       // 1PC folds the update images into the same forced block as the
       // COMMITTED record — the single critical-path write at the worker.
@@ -1081,8 +1135,8 @@ void AcpEngine::worker_handle_prepare_req(const Msg& m) {
   const TxnId id = m.txn;
   WorkTxn* wt = work_of(id);
   if (wt == nullptr) {
-    if (auto it = finished_.find(id); it != finished_.end() &&
-                                      it->second == TxnOutcome::kCommitted) {
+    if (const TxnOutcome* fin = finished_.find(id);
+        fin != nullptr && *fin == TxnOutcome::kCommitted) {
       // Already committed and forgotten: the coordinator must have lost our
       // earlier reply; only COMMIT/ACK remains meaningful.
       Msg r;
@@ -1176,15 +1230,17 @@ void AcpEngine::worker_handle_abort(const Msg& m) {
   r.proto = wt->proto;
   send(wt->coord, std::move(r), /*extra=*/true, /*critical=*/false);
   finished_[id] = TxnOutcome::kAborted;
-  work_.erase(id);
+  destroy_work(id);
 }
 
 void AcpEngine::worker_veto(TxnId id, MsgType reply_type,
                             const std::string& why) {
   WorkTxn* wt = work_of(id);
   if (wt == nullptr) return;
-  trace_.record(env_.now(), TraceKind::kTxnAbort, self_.str(),
-                "worker veto: " + why, id);
+  if (trace_.active()) {
+    trace_.record(env_.now(), TraceKind::kTxnAbort, self_.str(),
+                  "worker veto: " + why, id);
+  }
   store_.abort_txn(id);
   locks_.release_all(id);
   Msg r;
@@ -1193,7 +1249,7 @@ void AcpEngine::worker_veto(TxnId id, MsgType reply_type,
   r.proto = wt->proto;
   send(wt->coord, std::move(r), /*extra=*/false, /*critical=*/false);
   finished_[id] = TxnOutcome::kAborted;
-  work_.erase(id);
+  destroy_work(id);
 }
 
 // ---------------------------------------------------------------------------
@@ -1212,7 +1268,7 @@ void AcpEngine::on_message(Envelope env) {
     deferred_msgs_.push_back(std::move(env));
     return;
   }
-  const Msg& m = *std::any_cast<Msg>(&env.payload);
+  const Msg& m = *env.payload.get<Msg>();
   switch (m.type) {
     case MsgType::kUpdateReq:
       worker_handle_update_req(m);
@@ -1225,7 +1281,7 @@ void AcpEngine::on_message(Envelope env) {
       // The vetoing worker already aborted locally; it needs no ABORT and
       // will send no ACK.
       if (CoordTxn* ct = coord_of(m.txn); ct != nullptr) {
-        ct->acked.insert(m.from.value());
+        ct->acked.insert_unique(m.from.value());
       }
       abort_coordination(m.txn, "worker rejected update");
       break;
@@ -1235,14 +1291,14 @@ void AcpEngine::on_message(Envelope env) {
     case MsgType::kPrepared: {
       CoordTxn* ct = coord_of(m.txn);
       if (ct == nullptr || ct->aborting) break;
-      ct->prepared.insert(m.from.value());
+      ct->prepared.insert_unique(m.from.value());
       maybe_commit(m.txn);
       break;
     }
     case MsgType::kNotPrepared:
       stats_.add("acp.abort.worker_veto");
       if (CoordTxn* ct = coord_of(m.txn); ct != nullptr) {
-        ct->acked.insert(m.from.value());
+        ct->acked.insert_unique(m.from.value());
       }
       abort_coordination(m.txn, "worker voted NOT-PREPARED");
       break;
@@ -1254,7 +1310,7 @@ void AcpEngine::on_message(Envelope env) {
       break;
     case MsgType::kAck: {
       if (CoordTxn* ct = coord_of(m.txn); ct != nullptr) {
-        ct->acked.insert(m.from.value());
+        ct->acked.insert_unique(m.from.value());
         if (ct->acked.size() >= ct->txn.participants.size() - 1) {
           on_all_acked(m.txn);
         }
@@ -1268,7 +1324,7 @@ void AcpEngine::on_message(Envelope env) {
                   WriteTag{"ended", /*critical=*/false});
         wal_.partition().truncate_txn(m.txn);
         finished_[m.txn] = TxnOutcome::kCommitted;
-        work_.erase(m.txn);
+        destroy_work(m.txn);
       }
       break;
     }
@@ -1294,21 +1350,23 @@ void AcpEngine::crash() {
   ++crash_epoch_;
   trace_.record(env_.now(), TraceKind::kCrash, self_.str(), "engine down");
   stats_.add("acp.crashes");
-  for (auto& [id, ct] : coord_) {
-    env_.cancel(ct.response_timer);
-    env_.cancel(ct.retry_timer);
+  coord_.for_each([this](TxnId id, CoordTxn* ct) {
+    env_.cancel(ct->response_timer);
+    env_.cancel(ct->retry_timer);
     // Accesses whose effects die with the cache are void for the conflict
     // order; a re-drive records fresh ones at their true position.
     if (history_ != nullptr && !store_.stable_applied(id)) {
       history_->drop_accesses(self_.value(), id);
     }
-  }
-  for (auto& [id, wt] : work_) {
-    env_.cancel(wt.retry_timer);
+    coord_pool_.release(ct);
+  });
+  work_.for_each([this](TxnId id, WorkTxn* wt) {
+    env_.cancel(wt->retry_timer);
     if (history_ != nullptr && !store_.stable_applied(id)) {
       history_->drop_accesses(self_.value(), id);
     }
-  }
+    work_pool_.release(wt);
+  });
   coord_.clear();
   work_.clear();
   finished_.clear();

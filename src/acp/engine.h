@@ -18,12 +18,14 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "acp/config.h"
+#include "core/arena.h"
+#include "core/flat.h"
 #include "acp/messages.h"
 #include "acp/protocol.h"
 #include "acp/services.h"
@@ -115,9 +117,9 @@ class AcpEngine {
     CoordPhase phase = CoordPhase::kLocking;
     std::vector<ObjectId> lock_objs;
     std::size_t locks_granted = 0;
-    std::set<std::uint32_t> updated;   // workers that answered UPDATED
-    std::set<std::uint32_t> prepared;  // workers that voted PREPARED
-    std::set<std::uint32_t> acked;
+    SmallVec<std::uint32_t, 4> updated;   // workers that answered UPDATED
+    SmallVec<std::uint32_t, 4> prepared;  // workers that voted PREPARED
+    SmallVec<std::uint32_t, 4> acked;
     bool own_prepare_durable = false;
     bool started_durable = false;
     bool mem_committed = false;
@@ -129,6 +131,25 @@ class AcpEngine {
     SimTime submitted;
     TimerHandle response_timer;
     TimerHandle retry_timer;
+
+    /// Returns a pool-recycled object to its just-constructed state while
+    /// keeping container capacity warm.
+    void reset() {
+      txn.id = 0;
+      txn.participants.clear();
+      cb = nullptr;
+      phase = CoordPhase::kLocking;
+      lock_objs.clear();
+      locks_granted = 0;
+      updated.clear();
+      prepared.clear();
+      acked.clear();
+      own_prepare_durable = started_durable = mem_committed = false;
+      replied = aborting = recovered = fencing = reqs_sent = false;
+      submitted = SimTime{};
+      response_timer = TimerHandle{};
+      retry_timer = TimerHandle{};
+    }
   };
 
   // ---- per-transaction worker state ----
@@ -153,6 +174,19 @@ class AcpEngine {
     bool recovered = false;          // reconstructed from the log on reboot
     bool prepare_forced = false;     // a PREPARED record was sent to disk
     TimerHandle retry_timer;
+
+    void reset() {
+      id = 0;
+      coord = NodeId{};
+      proto = ProtocolKind::kPrN;
+      ops.clear();
+      phase = WorkPhase::kLocking;
+      lock_objs.clear();
+      locks_granted = 0;
+      prepare_on_update = commit_on_update = false;
+      recovered = prepare_forced = false;
+      retry_timer = TimerHandle{};
+    }
   };
 
   // ---- coordinator path (engine.cc) ----
@@ -219,11 +253,22 @@ class AcpEngine {
                                          ObjectId obj);
   [[nodiscard]] std::vector<ObjectId> sorted_objects(
       const std::vector<Operation>& ops) const;
+  /// Allocation-free variant: refills `out` in place, reusing its capacity.
+  void sorted_objects_into(const std::vector<Operation>& ops,
+                           std::vector<ObjectId>& out) const;
   void record_accesses(TxnId txn, const std::vector<Operation>& ops);
   [[nodiscard]] TxnId make_txn_id();
   [[nodiscard]] CoordTxn* coord_of(TxnId id);
   [[nodiscard]] WorkTxn* work_of(TxnId id);
   void run_local_fastpath(TxnId id);
+
+  // ---- pooled txn-state lifecycle ----
+  // acquire a reset object from the pool and index it; the id must be new.
+  CoordTxn& new_coord(TxnId id);
+  WorkTxn& new_work(TxnId id);
+  // unindex and park the object (capacity kept) for the next transaction.
+  void destroy_coord(TxnId id);
+  void destroy_work(TxnId id);
 
   Env& env_;
   NodeId self_;
@@ -258,9 +303,14 @@ class AcpEngine {
   std::uint64_t next_local_txn_ = 0;
   std::uint64_t crash_epoch_ = 0;
 
-  std::unordered_map<TxnId, CoordTxn> coord_;
-  std::unordered_map<TxnId, WorkTxn> work_;
-  std::unordered_map<TxnId, TxnOutcome> finished_;
+  // Hot-path txn tables: open-addressing id → pooled-object pointer.  The
+  // pools park finished CoordTxn/WorkTxn bodies with their vectors'
+  // capacity intact, so steady-state coordination never touches the heap.
+  FlatMap<TxnId, CoordTxn*> coord_;
+  FlatMap<TxnId, WorkTxn*> work_;
+  FlatMap<TxnId, TxnOutcome> finished_;
+  Pool<CoordTxn> coord_pool_;
+  Pool<WorkTxn> work_pool_;
   std::deque<std::pair<Transaction, ClientCallback>> queued_submissions_;
   std::unordered_set<NodeId> suspected_;
   // Fencing recoveries batched per worker: one STONITH + one log scan
@@ -270,6 +320,14 @@ class AcpEngine {
   Histogram latency_;
   std::uint64_t committed_ = 0;
   std::uint64_t aborted_ = 0;
+
+  // Hot-path counter handles (lazy-bound; see stats/counters.h).
+  Counter c_msg_total_;
+  Counter c_msgs_extra_;
+  Counter c_committed_;
+  Counter c_aborted_;
+  // One per NamespaceOpKind, indexed by the enum value.
+  Counter c_submitted_[4];
 };
 
 }  // namespace opc

@@ -159,7 +159,7 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
         if (history_ != nullptr) history_->record_abort(id);
         return;
       }
-      CoordTxn ct;
+      CoordTxn& ct = new_coord(id);
       ct.txn = std::move(txn);
       ct.proto = proto;
       ct.recovered = true;
@@ -167,13 +167,11 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
       ct.aborting = true;
       ct.submitted = env_.now();
       ct.phase = CoordPhase::kWaitingAcks;
-      auto [it, ok] = coord_.emplace(id, std::move(ct));
-      SIM_CHECK(ok);
       ++recovery_outstanding_;
       wal_.lazy(state_record(RecordType::kAborted, id),
                 WriteTag{"abort", false});
       if (history_ != nullptr) history_->record_abort(id);
-      send_decision_round(it->second, MsgType::kAbort);
+      send_decision_round(ct, MsgType::kAbort);
       arm_response_timer(id);
       return;
     }
@@ -183,7 +181,7 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
       // cached local updates are gone; on_commit_durable() replays them
       // from the transaction body (ct.recovered selects the replay path).
       stats_.add("acp.recovery.resume_from_prepared");
-      CoordTxn ct;
+      CoordTxn& ct = new_coord(id);
       ct.txn = std::move(txn);
       ct.proto = proto;
       ct.recovered = true;
@@ -192,10 +190,7 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
       ct.own_prepare_durable = true;
       ct.submitted = env_.now();
       ct.phase = CoordPhase::kLocking;
-      ct.lock_objs = sorted_objects(ct.txn.participants.front().ops);
-      auto [it, ok] = coord_.emplace(id, std::move(ct));
-      SIM_CHECK(ok);
-      (void)it;
+      sorted_objects_into(ct.txn.participants.front().ops, ct.lock_objs);
       ++recovery_outstanding_;
       acquire_next_lock(id);  // -> enter_voting once re-locked
       return;
@@ -230,7 +225,7 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
         return;
       }
       // PrN: keep resending COMMIT until every worker ACKs.
-      CoordTxn ct;
+      CoordTxn& ct = new_coord(id);
       ct.txn = std::move(txn);
       ct.proto = proto;
       ct.recovered = true;
@@ -239,17 +234,15 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
       ct.own_prepare_durable = true;
       ct.submitted = env_.now();
       ct.phase = CoordPhase::kWaitingAcks;
-      auto [it, ok] = coord_.emplace(id, std::move(ct));
-      SIM_CHECK(ok);
       ++recovery_outstanding_;
-      send_decision_round(it->second, MsgType::kCommit);
+      send_decision_round(ct, MsgType::kCommit);
       arm_response_timer(id);
       return;
     }
 
     case RecordType::kAborted: {
       stats_.add("acp.recovery.resume_from_aborted");
-      CoordTxn ct;
+      CoordTxn& ct = new_coord(id);
       ct.txn = std::move(txn);
       ct.proto = proto;
       ct.recovered = true;
@@ -257,10 +250,8 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
       ct.aborting = true;
       ct.submitted = env_.now();
       ct.phase = CoordPhase::kWaitingAcks;
-      auto [it, ok] = coord_.emplace(id, std::move(ct));
-      SIM_CHECK(ok);
       ++recovery_outstanding_;
-      send_decision_round(it->second, MsgType::kAbort);
+      send_decision_round(ct, MsgType::kAbort);
       arm_response_timer(id);
       return;
     }
@@ -315,7 +306,7 @@ void AcpEngine::recover_worker_txn(TxnId id,
       SIM_CHECK(it != recs.end());
       parse_worker_payload(*it, coord, proto);
 
-      WorkTxn wt;
+      WorkTxn& wt = new_work(id);
       wt.id = id;
       wt.coord = coord;
       wt.proto = proto;
@@ -327,10 +318,7 @@ void AcpEngine::recover_worker_txn(TxnId id,
         SIM_CHECK_MSG(decode_ops(r.payload, ops), "corrupt UPDATE payload");
         wt.ops.insert(wt.ops.end(), ops.begin(), ops.end());
       }
-      wt.lock_objs = sorted_objects(wt.ops);
-      auto [wit, ok] = work_.emplace(id, std::move(wt));
-      SIM_CHECK(ok);
-      (void)wit;
+      sorted_objects_into(wt.ops, wt.lock_objs);
       // Re-protect the prepared objects, then chase the decision (paper
       // §II-C: the worker asks the coordinator to resend it).
       worker_acquire_next_lock(id);
@@ -350,13 +338,12 @@ void AcpEngine::recover_worker_txn(TxnId id,
       if (proto == ProtocolKind::kOnePC) {
         // Paper §III-C: ask the coordinator to resend the ACKNOWLEDGE so
         // the log can be finalized.
-        WorkTxn wt;
+        WorkTxn& wt = new_work(id);
         wt.id = id;
         wt.coord = coord;
         wt.proto = proto;
         wt.recovered = true;
         wt.phase = WorkPhase::kCommitted;
-        work_.emplace(id, std::move(wt));
         Msg m;
         m.type = MsgType::kAckReq;
         m.txn = id;
@@ -388,16 +375,14 @@ void AcpEngine::recover_worker_txn(TxnId id,
 
 void AcpEngine::redrive_transaction(Transaction txn) {
   const TxnId id = txn.id;
-  CoordTxn ct;
+  CoordTxn& ct = new_coord(id);
   ct.txn = std::move(txn);
   ct.proto = choose_protocol(proto_, ct.txn.n_participants());
   ct.recovered = true;
   ct.replied = true;  // client is gone; outcome is recorded, not delivered
   ct.submitted = env_.now();
-  auto [it, ok] = coord_.emplace(id, std::move(ct));
-  SIM_CHECK(ok);
   ++recovery_outstanding_;
-  start_coordination(it->second);
+  start_coordination(ct);
 }
 
 void AcpEngine::arm_worker_retry(TxnId id, MsgType ask) {
@@ -424,13 +409,13 @@ void AcpEngine::suspect(NodeId peer) {
   if (crashed_) return;
   suspected_.insert(peer);
   std::vector<TxnId> affected;
-  for (const auto& [id, ct] : coord_) {
-    if (ct.proto == ProtocolKind::kOnePC &&
-        ct.phase == CoordPhase::kUpdating && !ct.fencing &&
-        ct.txn.worker() == peer) {
+  coord_.for_each([&](TxnId id, const CoordTxn* ct) {
+    if (ct->proto == ProtocolKind::kOnePC &&
+        ct->phase == CoordPhase::kUpdating && !ct->fencing &&
+        ct->txn.worker() == peer) {
       affected.push_back(id);
     }
-  }
+  });
   for (TxnId id : affected) start_fencing_recovery(id);
 }
 
@@ -519,7 +504,7 @@ void AcpEngine::on_worker_log_read(TxnId id, NodeId worker,
       reply_client(*ct, TxnOutcome::kCommitted);
     }
     ct->phase = CoordPhase::kForcingCommit;
-    std::vector<LogRecord> recs;
+    std::vector<LogRecord> recs = wal_.checkout_recs();
     recs.push_back(update_record(id, ct->txn.participants.front().ops));
     recs.push_back(state_record(RecordType::kCommitted, id));
     const std::uint64_t epoch = crash_epoch_;
@@ -557,17 +542,17 @@ void AcpEngine::handle_decision_req(const Msg& m) {
     }
     if (ct->phase == CoordPhase::kVoting) {
       // A DECISION_REQ proves the worker prepared (its vote got lost).
-      ct->prepared.insert(m.from.value());
+      ct->prepared.insert_unique(m.from.value());
       maybe_commit(id);
     }
     return;  // undecided; the worker keeps retrying
   }
-  if (auto it = finished_.find(id); it != finished_.end()) {
+  if (const TxnOutcome* fin = finished_.find(id); fin != nullptr) {
     Msg r;
     r.type = MsgType::kDecision;
     r.txn = id;
     r.proto = m.proto;
-    r.outcome = it->second;
+    r.outcome = *fin;
     send(m.from, std::move(r), /*extra=*/true, /*critical=*/false);
     return;
   }
@@ -605,7 +590,7 @@ void AcpEngine::handle_decision(const Msg& m) {
     wal_.lazy(state_record(RecordType::kAborted, id),
               WriteTag{"abort", false});
     finished_[id] = TxnOutcome::kAborted;
-    work_.erase(id);
+    destroy_work(id);
   }
 }
 
@@ -632,14 +617,13 @@ void AcpEngine::maybe_finish_recovery() {
   for (auto& [txn, cb] : queued) {
     const TxnId id = txn.id;
     stats_.add("acp.submitted");
-    CoordTxn ct;
+    if (coord_.contains(id)) continue;
+    CoordTxn& ct = new_coord(id);
     ct.txn = std::move(txn);
     ct.proto = choose_protocol(proto_, ct.txn.n_participants());
     ct.cb = std::move(cb);
     ct.submitted = env_.now();
-    auto [it, ok] = coord_.emplace(id, std::move(ct));
-    if (!ok) continue;
-    start_coordination(it->second);
+    start_coordination(ct);
   }
   if (recovery_done_cb_) {
     auto cb = std::move(recovery_done_cb_);

@@ -69,7 +69,7 @@ void MdsNode::on_envelope(Envelope env) {
 }
 
 void MdsNode::handle_fs_rpc(const Envelope& env) {
-  const FsRpc& rpc = *std::any_cast<FsRpc>(&env.payload);
+  const FsRpc& rpc = *env.payload.get<FsRpc>();
   FsRpcReply reply;
   reply.req_id = rpc.req_id;
   // Reads are served from the current (mem) view — they see logically
@@ -100,7 +100,7 @@ void MdsNode::handle_fs_rpc(const Envelope& env) {
   out.to = env.from;
   out.kind = kFsRpcReplyKind;
   out.size_bytes = 128 + reply.entries.size() * 32;
-  out.payload = reply;
+  out.payload.emplace<FsRpcReply>(std::move(reply));
   net_.send(std::move(out));
 }
 

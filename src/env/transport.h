@@ -7,28 +7,31 @@
 // in-process MPSC loopback between worker threads, applying the same
 // NetworkConfig delay model as real sleeps.
 //
-// The payload travels as std::any: transports are deliberately ignorant of
-// protocol message contents; the ACP layer defines and downcasts its own
-// message struct (src/acp/messages.h).
+// The payload travels as a MessageBody — a small-buffer type-erased box
+// (env/message_body.h): transports are deliberately ignorant of protocol
+// message contents; the ACP layer defines and downcasts its own message
+// struct (src/acp/messages.h).  Unlike the std::any it replaced, the
+// closed protocol vocabulary rides entirely in the envelope's inline
+// buffer, so handing a message through a transport allocates nothing.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <string>
 
+#include "env/message_body.h"
 #include "net/types.h"
 
 namespace opc {
 
-/// One in-flight message.
+/// One in-flight message.  Move-only (the payload owns its content).
 struct Envelope {
   NodeId from;
   NodeId to;
   std::string kind;        // short label for tracing ("UPDATE_REQ", ...)
   std::uint64_t txn = 0;   // transaction id for tracing, 0 if none
   std::uint64_t size_bytes = 256;
-  std::any payload;        // protocol-defined content
+  MessageBody payload;     // protocol-defined content
 };
 
 /// Abstract node-to-node message fabric.  Delivery is at-most-once and

@@ -49,7 +49,7 @@ bool FsClient::split_path(const std::string& path,
 
 void FsClient::on_envelope(Envelope env) {
   if (env.kind != kFsRpcReplyKind) return;  // not for this layer
-  const FsRpcReply& reply = *std::any_cast<FsRpcReply>(&env.payload);
+  const FsRpcReply& reply = *env.payload.get<FsRpcReply>();
   auto it = pending_.find(reply.req_id);
   if (it == pending_.end()) return;  // timed out earlier
   Pending p = std::move(it->second);
@@ -80,7 +80,7 @@ void FsClient::send_rpc(NodeId to, FsRpc rpc,
   env.to = to;
   env.kind = kFsRpcKind;
   env.size_bytes = 96 + rpc.name.size();
-  env.payload = std::move(rpc);
+  env.payload.emplace<FsRpc>(std::move(rpc));
   cluster_.network().send(std::move(env));
 }
 

@@ -1,6 +1,8 @@
 #include "lock/lock_manager.h"
 
 #include <algorithm>
+#include <functional>
+#include <unordered_map>
 #include <utility>
 
 namespace opc {
@@ -11,6 +13,23 @@ const char* mode_name(LockMode m) {
 }
 
 }  // namespace
+
+LockManager::~LockManager() = default;
+
+LockManager::LockState& LockManager::state_for(std::uint64_t resource) {
+  auto [slot, inserted] = locks_.try_emplace(resource, nullptr);
+  if (inserted) {
+    LockState* s = state_pool_.acquire();
+    s->clear_for_reuse();
+    *slot = s;
+  }
+  return **slot;
+}
+
+void LockManager::retire_state(std::uint64_t resource, LockState* s) {
+  locks_.erase(resource);
+  state_pool_.release(s);
+}
 
 bool LockManager::txn_has_queued_waiter(const LockState& s,
                                         std::uint64_t txn) {
@@ -35,7 +54,7 @@ bool LockManager::acquire(std::uint64_t txn, std::uint64_t resource,
                           LockMode mode, Granted on_granted, Duration timeout,
                           TimedOut on_timeout) {
   SIM_CHECK(on_granted != nullptr);
-  LockState& s = locks_[resource];
+  LockState& s = state_for(resource);
 
   // Reentrancy and upgrades.  Holder entries are unique per transaction
   // (pump() merges grants into an existing entry), so the first match is
@@ -43,16 +62,18 @@ bool LockManager::acquire(std::uint64_t txn, std::uint64_t resource,
   for (Holder& h : s.holders) {
     if (h.txn != txn) continue;
     if (h.mode == LockMode::kExclusive || h.mode == mode) {
-      stats_.add("lock.reentrant");
+      c_reentrant_.add();
       on_granted();
       return true;
     }
     // Held S, requesting X.
     if (grantable(s, txn, mode, /*as_upgrade=*/true)) {
       h.mode = LockMode::kExclusive;
-      stats_.add("lock.upgrades");
-      trace_.record(env_.now(), TraceKind::kLockGrant, name_,
-                    "upgrade r" + std::to_string(resource), txn);
+      c_upgrades_.add();
+      if (trace_.active()) {
+        trace_.record(env_.now(), TraceKind::kLockGrant, name_,
+                      "upgrade r" + std::to_string(resource), txn);
+      }
       on_granted();
       return true;
     }
@@ -63,39 +84,46 @@ bool LockManager::acquire(std::uint64_t txn, std::uint64_t resource,
     if (timeout > Duration::zero()) {
       w.timer = env_.schedule_after(timeout, [this, txn, resource] {
         // Find and expire the queued request.
-        auto it = locks_.find(resource);
-        if (it == locks_.end()) return;
-        auto& ws = it->second.waiters;
-        auto wit = std::find_if(ws.begin(), ws.end(), [txn](const Waiter& x) {
-          return x.txn == txn;
-        });
-        if (wit == ws.end()) return;
-        TimedOut cb = std::move(wit->on_timeout);
-        ws.erase(wit);
-        if (!txn_has_queued_waiter(it->second, txn)) {
-          waiting_by_txn_[txn].erase(resource);
+        LockState* st = state_of(resource);
+        if (st == nullptr) return;
+        Waiter* wit = st->waiters.begin();
+        for (; wit != st->waiters.end(); ++wit) {
+          if (wit->txn == txn) break;
         }
-        stats_.add("lock.timeouts");
+        if (wit == st->waiters.end()) return;
+        TimedOut cb = std::move(wit->on_timeout);
+        st->waiters.erase(wit);
+        if (!txn_has_queued_waiter(*st, txn)) {
+          if (auto* wset = waiting_by_txn_.find(txn)) {
+            wset->erase_value(resource);
+            if (wset->empty()) waiting_by_txn_.erase(txn);
+          }
+        }
+        c_timeouts_.add();
         if (cb) cb();
       });
     }
     s.waiters.push_front(std::move(w));
-    waiting_by_txn_[txn].insert(resource);
-    stats_.add("lock.waits");
-    trace_.record(env_.now(), TraceKind::kLockWait, name_,
-                  "wait-upgrade r" + std::to_string(resource), txn);
+    waiting_by_txn_[txn].insert_unique(resource);
+    c_waits_.add();
+    if (trace_.active()) {
+      trace_.record(env_.now(), TraceKind::kLockWait, name_,
+                    "wait-upgrade r" + std::to_string(resource), txn);
+    }
     return false;
   }
 
   // Fresh request: grant only if compatible AND nobody is queued (FIFO).
   if (s.waiters.empty() && grantable(s, txn, mode, /*as_upgrade=*/false)) {
     s.holders.push_back(Holder{txn, mode});
-    held_by_txn_[txn].insert(resource);
-    stats_.add("lock.grants.immediate");
-    trace_.record(env_.now(), TraceKind::kLockGrant, name_,
-                  std::string(mode_name(mode)) + " r" +
-                      std::to_string(resource),
-                  txn);
+    held_by_txn_[txn].insert_unique(resource);
+    c_grants_immediate_.add();
+    if (trace_.active()) {
+      trace_.record(env_.now(), TraceKind::kLockGrant, name_,
+                    std::string(mode_name(mode)) + " r" +
+                        std::to_string(resource),
+                    txn);
+    }
     on_granted();
     return true;
   }
@@ -104,38 +132,46 @@ bool LockManager::acquire(std::uint64_t txn, std::uint64_t resource,
            std::move(on_timeout), TimerHandle{}, env_.now()};
   if (timeout > Duration::zero()) {
     w.timer = env_.schedule_after(timeout, [this, txn, resource] {
-      auto it = locks_.find(resource);
-      if (it == locks_.end()) return;
-      auto& ws = it->second.waiters;
-      auto wit = std::find_if(ws.begin(), ws.end(), [txn](const Waiter& x) {
-        return x.txn == txn;
-      });
-      if (wit == ws.end()) return;
-      TimedOut cb = std::move(wit->on_timeout);
-      ws.erase(wit);
-      if (!txn_has_queued_waiter(it->second, txn)) {
-        waiting_by_txn_[txn].erase(resource);
+      LockState* st = state_of(resource);
+      if (st == nullptr) return;
+      Waiter* wit = st->waiters.begin();
+      for (; wit != st->waiters.end(); ++wit) {
+        if (wit->txn == txn) break;
       }
-      stats_.add("lock.timeouts");
+      if (wit == st->waiters.end()) return;
+      TimedOut cb = std::move(wit->on_timeout);
+      st->waiters.erase(wit);
+      if (!txn_has_queued_waiter(*st, txn)) {
+        if (auto* wset = waiting_by_txn_.find(txn)) {
+          wset->erase_value(resource);
+          if (wset->empty()) waiting_by_txn_.erase(txn);
+        }
+      }
+      c_timeouts_.add();
       if (cb) cb();
       // The slot this waiter occupied may now unblock later waiters.
       pump(resource);
     });
   }
   s.waiters.push_back(std::move(w));
-  waiting_by_txn_[txn].insert(resource);
-  stats_.add("lock.waits");
-  trace_.record(env_.now(), TraceKind::kLockWait, name_,
-                std::string(mode_name(mode)) + " r" + std::to_string(resource),
-                txn);
+  waiting_by_txn_[txn].insert_unique(resource);
+  c_waits_.add();
+  if (trace_.active()) {
+    trace_.record(env_.now(), TraceKind::kLockWait, name_,
+                  std::string(mode_name(mode)) + " r" +
+                      std::to_string(resource),
+                  txn);
+  }
   return false;
 }
 
 void LockManager::pump(std::uint64_t resource) {
   while (true) {
-    auto it = locks_.find(resource);
-    if (it == locks_.end() || it->second.waiters.empty()) return;
-    LockState& s = it->second;
+    // Re-fetched every iteration: on_granted() may recurse into
+    // acquire/release and rehash locks_ (slot pointers do not survive).
+    LockState* sp = state_of(resource);
+    if (sp == nullptr || sp->waiters.empty()) return;
+    LockState& s = *sp;
     Waiter& front = s.waiters.front();
     if (!grantable(s, front.txn, front.mode, front.upgrade)) return;
 
@@ -143,7 +179,10 @@ void LockManager::pump(std::uint64_t resource) {
     s.waiters.pop_front();
     env_.cancel(w.timer);
     if (!txn_has_queued_waiter(s, w.txn)) {
-      waiting_by_txn_[w.txn].erase(resource);
+      if (auto* wset = waiting_by_txn_.find(w.txn)) {
+        wset->erase_value(resource);
+        if (wset->empty()) waiting_by_txn_.erase(w.txn);
+      }
     }
     if (w.upgrade) {
       auto hit = std::find_if(s.holders.begin(), s.holders.end(),
@@ -159,14 +198,16 @@ void LockManager::pump(std::uint64_t resource) {
       if (w.mode == LockMode::kExclusive) hit->mode = LockMode::kExclusive;
     } else {
       s.holders.push_back(Holder{w.txn, w.mode});
-      held_by_txn_[w.txn].insert(resource);
+      held_by_txn_[w.txn].insert_unique(resource);
     }
     wait_hist_.record(env_.now() - w.enqueued);
-    stats_.add("lock.grants.queued");
-    trace_.record(env_.now(), TraceKind::kLockGrant, name_,
-                  std::string(mode_name(w.mode)) + " r" +
-                      std::to_string(resource) + " (queued)",
-                  w.txn);
+    c_grants_queued_.add();
+    if (trace_.active()) {
+      trace_.record(env_.now(), TraceKind::kLockGrant, name_,
+                    std::string(mode_name(w.mode)) + " r" +
+                        std::to_string(resource) + " (queued)",
+                    w.txn);
+    }
     // May recurse into acquire/release; state references are re-fetched at
     // the top of the loop.
     w.on_granted();
@@ -174,22 +215,24 @@ void LockManager::pump(std::uint64_t resource) {
 }
 
 void LockManager::release(std::uint64_t txn, std::uint64_t resource) {
-  auto it = locks_.find(resource);
-  if (it == locks_.end()) return;
-  LockState& s = it->second;
+  LockState* sp = state_of(resource);
+  if (sp == nullptr) return;
+  LockState& s = *sp;
   auto hit = std::find_if(s.holders.begin(), s.holders.end(),
                           [&](const Holder& h) { return h.txn == txn; });
   if (hit == s.holders.end()) return;
   s.holders.erase(hit);
-  if (auto t = held_by_txn_.find(txn); t != held_by_txn_.end()) {
-    t->second.erase(resource);
-    if (t->second.empty()) held_by_txn_.erase(t);
+  if (auto* hset = held_by_txn_.find(txn)) {
+    hset->erase_value(resource);
+    if (hset->empty()) held_by_txn_.erase(txn);
   }
-  stats_.add("lock.releases");
-  trace_.record(env_.now(), TraceKind::kLockRelease, name_,
-                "r" + std::to_string(resource), txn);
+  c_releases_.add();
+  if (trace_.active()) {
+    trace_.record(env_.now(), TraceKind::kLockRelease, name_,
+                  "r" + std::to_string(resource), txn);
+  }
   if (s.holders.empty() && s.waiters.empty()) {
-    locks_.erase(it);
+    retire_state(resource, &s);
     return;
   }
   pump(resource);
@@ -198,23 +241,26 @@ void LockManager::release(std::uint64_t txn, std::uint64_t resource) {
 void LockManager::release_all(std::uint64_t txn) {
   // Cancel queued requests first so a release cannot grant a lock to a
   // request this same transaction is abandoning.
-  if (auto wit = waiting_by_txn_.find(txn); wit != waiting_by_txn_.end()) {
-    const std::unordered_set<std::uint64_t> waiting = std::move(wit->second);
-    waiting_by_txn_.erase(wit);
-    for (std::uint64_t resource : waiting) {
-      auto it = locks_.find(resource);
-      if (it == locks_.end()) continue;
-      auto& ws = it->second.waiters;
+  if (auto* wset = waiting_by_txn_.find(txn)) {
+    const SmallVec<std::uint64_t, 4> waiting = std::move(*wset);
+    waiting_by_txn_.erase(txn);
+    // Newest-first, matching the iteration order of the small
+    // unordered_set this index replaced (trace-hash compatible).
+    for (std::size_t i = waiting.size(); i-- > 0;) {
+      const std::uint64_t resource = waiting[i];
+      LockState* sp = state_of(resource);
+      if (sp == nullptr) continue;
+      WaitQueue& ws = sp->waiters;
       // Remove EVERY queued request of this transaction — a caller that
       // double-queued (acquired the same resource twice while blocked)
       // must not leave a zombie waiter behind.
       bool removed = false;
-      for (auto x = ws.begin(); x != ws.end();) {
+      for (Waiter* x = ws.begin(); x != ws.end();) {
         if (x->txn == txn) {
           env_.cancel(x->timer);
           x = ws.erase(x);
           removed = true;
-          stats_.add("lock.cancelled_waits");
+          c_cancelled_waits_.add();
         } else {
           ++x;
         }
@@ -222,20 +268,23 @@ void LockManager::release_all(std::uint64_t txn) {
       if (removed) pump(resource);
     }
   }
-  if (auto hit = held_by_txn_.find(txn); hit != held_by_txn_.end()) {
-    const std::unordered_set<std::uint64_t> held = std::move(hit->second);
-    held_by_txn_.erase(hit);
-    for (std::uint64_t resource : held) {
-      auto it = locks_.find(resource);
-      if (it == locks_.end()) continue;
-      LockState& s = it->second;
+  if (auto* hset = held_by_txn_.find(txn)) {
+    const SmallVec<std::uint64_t, 4> held = std::move(*hset);
+    held_by_txn_.erase(txn);
+    for (std::size_t i = held.size(); i-- > 0;) {
+      const std::uint64_t resource = held[i];
+      LockState* sp = state_of(resource);
+      if (sp == nullptr) continue;
+      LockState& s = *sp;
       std::erase_if(s.holders,
                     [txn](const Holder& h) { return h.txn == txn; });
-      stats_.add("lock.releases");
-      trace_.record(env_.now(), TraceKind::kLockRelease, name_,
-                    "r" + std::to_string(resource), txn);
+      c_releases_.add();
+      if (trace_.active()) {
+        trace_.record(env_.now(), TraceKind::kLockRelease, name_,
+                      "r" + std::to_string(resource), txn);
+      }
       if (s.holders.empty() && s.waiters.empty()) {
-        locks_.erase(it);
+        retire_state(resource, &s);
       } else {
         pump(resource);
       }
@@ -244,10 +293,10 @@ void LockManager::release_all(std::uint64_t txn) {
 }
 
 void LockManager::reset() {
-  for (auto& [res, s] : locks_) {
-    (void)res;
-    for (Waiter& w : s.waiters) env_.cancel(w.timer);
-  }
+  locks_.for_each([this](const std::uint64_t&, LockState*& s) {
+    for (Waiter& w : s->waiters) env_.cancel(w.timer);
+    state_pool_.release(s);
+  });
   locks_.clear();
   held_by_txn_.clear();
   waiting_by_txn_.clear();
@@ -256,9 +305,9 @@ void LockManager::reset() {
 
 bool LockManager::holds(std::uint64_t txn, std::uint64_t resource,
                         LockMode mode) const {
-  auto it = locks_.find(resource);
-  if (it == locks_.end()) return false;
-  for (const Holder& h : it->second.holders) {
+  const LockState* s = state_of(resource);
+  if (s == nullptr) return false;
+  for (const Holder& h : s->holders) {
     if (h.txn == txn) {
       return mode == LockMode::kShared || h.mode == LockMode::kExclusive;
     }
@@ -267,22 +316,22 @@ bool LockManager::holds(std::uint64_t txn, std::uint64_t resource,
 }
 
 std::size_t LockManager::waiting_count(std::uint64_t resource) const {
-  auto it = locks_.find(resource);
-  return it == locks_.end() ? 0 : it->second.waiters.size();
+  const LockState* s = state_of(resource);
+  return s == nullptr ? 0 : s->waiters.size();
 }
 
 std::size_t LockManager::held_resources(std::uint64_t txn) const {
-  auto it = held_by_txn_.find(txn);
-  return it == held_by_txn_.end() ? 0 : it->second.size();
+  const auto* hset = held_by_txn_.find(txn);
+  return hset == nullptr ? 0 : hset->size();
 }
 
 std::vector<std::uint64_t> LockManager::find_deadlock_victims() const {
   // Wait-for edges: each waiter depends on every incompatible holder and on
   // every waiter queued ahead of it (FIFO queues make queue order part of
-  // the dependency).
+  // the dependency).  Cold diagnostic path — std containers are fine here.
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> adj;
-  for (const auto& [res, s] : locks_) {
-    (void)res;
+  locks_.for_each([&adj](const std::uint64_t&, LockState* const& sp) {
+    const LockState& s = *sp;
     for (std::size_t i = 0; i < s.waiters.size(); ++i) {
       const Waiter& w = s.waiters[i];
       auto& out = adj[w.txn];
@@ -295,7 +344,7 @@ std::vector<std::uint64_t> LockManager::find_deadlock_victims() const {
         if (s.waiters[j].txn != w.txn) out.push_back(s.waiters[j].txn);
       }
     }
-  }
+  });
 
   std::vector<std::uint64_t> victims;
   std::unordered_map<std::uint64_t, int> color;  // 0 white 1 grey 2 black

@@ -13,17 +13,22 @@
 // Granting is strict FIFO — no barging — except that a lock upgrade
 // (S -> X by the sole holder) jumps the queue, the standard rule that keeps
 // upgrades deadlock-free against new arrivals.
+//
+// Hot-path memory: lock states are pooled (the per-resource entry is reused
+// across the storm with its holder/waiter capacity intact), the indexes are
+// open-addressing FlatMaps, the per-txn resource sets ride inline in
+// SmallVecs, and grant/timeout continuations are InlineCallbacks — so the
+// steady-state acquire/wait/grant/release cycle never touches the heap.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "core/arena.h"
+#include "core/flat.h"
 #include "env/env.h"
+#include "sim/inline_callback.h"
 #include "sim/trace.h"
 #include "stats/counters.h"
 #include "stats/histogram.h"
@@ -40,15 +45,24 @@ enum class LockMode : std::uint8_t { kShared, kExclusive };
 /// metadata object ids onto them); requesters by transaction id.
 class LockManager {
  public:
-  using Granted = std::function<void()>;
-  using TimedOut = std::function<void()>;
+  using Granted = InlineCallback<void(), kInlineCallbackBytes>;
+  using TimedOut = InlineCallback<void(), kInlineCallbackBytes>;
 
   LockManager(Env& env, std::string name, StatsRegistry& stats,
               TraceRecorder& trace)
-      : env_(env), name_(std::move(name)), stats_(stats), trace_(trace) {}
+      : env_(env), name_(std::move(name)), stats_(stats), trace_(trace),
+        c_waits_(stats, "lock.waits"),
+        c_grants_immediate_(stats, "lock.grants.immediate"),
+        c_grants_queued_(stats, "lock.grants.queued"),
+        c_releases_(stats, "lock.releases"),
+        c_reentrant_(stats, "lock.reentrant"),
+        c_upgrades_(stats, "lock.upgrades"),
+        c_timeouts_(stats, "lock.timeouts"),
+        c_cancelled_waits_(stats, "lock.cancelled_waits") {}
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
+  ~LockManager();
 
   /// Requests `mode` on `resource` for `txn`.
   ///  * Granted immediately (compatible, nobody queued ahead): `on_granted`
@@ -103,10 +117,80 @@ class LockManager {
     TimerHandle timer;
     SimTime enqueued;
   };
+
+  /// FIFO queue over a vector with a consumed-prefix index: pop_front is
+  /// O(1), the buffer (and each parked Waiter's callback storage) is reused
+  /// once the queue drains, and upgrade push_front reoccupies the consumed
+  /// prefix when one exists.
+  class WaitQueue {
+   public:
+    [[nodiscard]] bool empty() const { return head_ == buf_.size(); }
+    [[nodiscard]] std::size_t size() const { return buf_.size() - head_; }
+    [[nodiscard]] Waiter& front() { return buf_[head_]; }
+    [[nodiscard]] Waiter& operator[](std::size_t i) { return buf_[head_ + i]; }
+    [[nodiscard]] const Waiter& operator[](std::size_t i) const {
+      return buf_[head_ + i];
+    }
+    [[nodiscard]] Waiter* begin() { return buf_.data() + head_; }
+    [[nodiscard]] Waiter* end() { return buf_.data() + buf_.size(); }
+    [[nodiscard]] const Waiter* begin() const { return buf_.data() + head_; }
+    [[nodiscard]] const Waiter* end() const {
+      return buf_.data() + buf_.size();
+    }
+    void push_back(Waiter&& w) { buf_.push_back(std::move(w)); }
+    void push_front(Waiter&& w) {
+      if (head_ > 0) {
+        buf_[--head_] = std::move(w);
+      } else {
+        buf_.insert(buf_.begin(), std::move(w));
+      }
+    }
+    void pop_front() {
+      ++head_;
+      maybe_rewind();
+    }
+    /// Removes *it; returns the element that took its position (== end()
+    /// when it was the last).
+    Waiter* erase(Waiter* it) {
+      const std::size_t i = static_cast<std::size_t>(it - begin());
+      buf_.erase(buf_.begin() + static_cast<std::ptrdiff_t>(head_ + i));
+      maybe_rewind();
+      return begin() + i;
+    }
+    void clear() {
+      buf_.clear();
+      head_ = 0;
+    }
+
+   private:
+    void maybe_rewind() {
+      if (head_ == buf_.size()) {
+        buf_.clear();
+        head_ = 0;
+      }
+    }
+    std::vector<Waiter> buf_;
+    std::size_t head_ = 0;
+  };
+
   struct LockState {
     std::vector<Holder> holders;
-    std::deque<Waiter> waiters;
+    WaitQueue waiters;
+    void clear_for_reuse() {
+      holders.clear();
+      waiters.clear();
+    }
   };
+
+  [[nodiscard]] LockState* state_of(std::uint64_t resource) {
+    LockState* const* p = locks_.find(resource);
+    return p == nullptr ? nullptr : *p;
+  }
+  [[nodiscard]] const LockState* state_of(std::uint64_t resource) const {
+    return const_cast<LockManager*>(this)->state_of(resource);
+  }
+  LockState& state_for(std::uint64_t resource);
+  void retire_state(std::uint64_t resource, LockState* s);
 
   void pump(std::uint64_t resource);
   [[nodiscard]] bool grantable(const LockState& s, std::uint64_t txn,
@@ -121,11 +205,22 @@ class LockManager {
   StatsRegistry& stats_;
   TraceRecorder& trace_;
   Histogram wait_hist_;
-  std::unordered_map<std::uint64_t, LockState> locks_;
-  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
-      held_by_txn_;
-  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
-      waiting_by_txn_;
+  FlatMap<std::uint64_t, LockState*> locks_;
+  Pool<LockState> state_pool_;
+  // Per-txn resource indexes.  Values are insertion-ordered; release_all
+  // walks them newest-first, which reproduces the iteration order of the
+  // small unordered_sets they replaced (trace-hash compatible).
+  FlatMap<std::uint64_t, SmallVec<std::uint64_t, 4>> held_by_txn_;
+  FlatMap<std::uint64_t, SmallVec<std::uint64_t, 4>> waiting_by_txn_;
+
+  Counter c_waits_;
+  Counter c_grants_immediate_;
+  Counter c_grants_queued_;
+  Counter c_releases_;
+  Counter c_reentrant_;
+  Counter c_upgrades_;
+  Counter c_timeouts_;
+  Counter c_cancelled_waits_;
 };
 
 }  // namespace opc

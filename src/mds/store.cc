@@ -7,7 +7,8 @@
 namespace opc {
 namespace {
 const std::vector<Operation> kNoOps;
-}
+constexpr std::size_t kMaxPooledOps = 32;
+}  // namespace
 
 const char* store_status_name(StoreStatus s) {
   switch (s) {
@@ -24,35 +25,106 @@ const char* store_status_name(StoreStatus s) {
   return "?";
 }
 
+// --- DentryTable -----------------------------------------------------------
+
+MetaStore::DentryTable::Entries::const_iterator
+MetaStore::DentryTable::lower_bound(const Entries& es, std::string_view name) {
+  return std::lower_bound(
+      es.begin(), es.end(), name,
+      [](const std::pair<std::string, ObjectId>& e, std::string_view n) {
+        return e.first < n;
+      });
+}
+
+const ObjectId* MetaStore::DentryTable::find(ObjectId dir,
+                                             std::string_view name) const {
+  const Entries* es = dirs_.find(dir.value());
+  if (es == nullptr) return nullptr;
+  auto it = lower_bound(*es, name);
+  if (it == es->end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+bool MetaStore::DentryTable::insert(ObjectId dir, const std::string& name,
+                                    ObjectId child) {
+  Entries& es = dirs_[dir.value()];
+  auto it = lower_bound(es, name);
+  if (it != es.end() && it->first == name) return false;
+  es.emplace(it, name, child);
+  ++size_;
+  return true;
+}
+
+bool MetaStore::DentryTable::erase(ObjectId dir, std::string_view name) {
+  Entries* es = dirs_.find(dir.value());
+  if (es == nullptr) return false;
+  auto it = lower_bound(*es, name);
+  if (it == es->end() || it->first != name) return false;
+  es->erase(it);
+  --size_;
+  if (es->empty()) dirs_.erase(dir.value());
+  return true;
+}
+
+void MetaStore::DentryTable::upsert(ObjectId dir, const std::string& name,
+                                    ObjectId child) {
+  Entries& es = dirs_[dir.value()];
+  auto it = lower_bound(es, name);
+  if (it != es.end() && it->first == name) {
+    es[static_cast<std::size_t>(it - es.begin())].second = child;
+    return;
+  }
+  es.emplace(it, name, child);
+  ++size_;
+}
+
+std::size_t MetaStore::DentryTable::entry_count(ObjectId dir) const {
+  const Entries* es = dirs_.find(dir.value());
+  return es == nullptr ? 0 : es->size();
+}
+
+const MetaStore::DentryTable::Entries* MetaStore::DentryTable::entries(
+    ObjectId dir) const {
+  return dirs_.find(dir.value());
+}
+
+void MetaStore::DentryTable::clear() {
+  dirs_.clear();
+  size_ = 0;
+}
+
+void MetaStore::DentryTable::clone_from(const DentryTable& o) {
+  dirs_.clone_from(o.dirs_);
+  size_ = o.size_;
+}
+
+// --- MetaStore -------------------------------------------------------------
+
 std::optional<Inode> MetaStore::mem_inode(ObjectId id) const {
-  auto it = mem_inodes_.find(id);
-  if (it == mem_inodes_.end()) return std::nullopt;
-  return it->second;
+  const Inode* ino = mem_inodes_.find(id.value());
+  if (ino == nullptr) return std::nullopt;
+  return *ino;
 }
 
 std::optional<ObjectId> MetaStore::mem_lookup(ObjectId dir,
                                               const std::string& name) const {
-  auto it = mem_dentries_.find({dir, name});
-  if (it == mem_dentries_.end()) return std::nullopt;
-  return it->second;
+  const ObjectId* child = mem_dentries_.find(dir, name);
+  if (child == nullptr) return std::nullopt;
+  return *child;
 }
 
 std::vector<std::pair<std::string, ObjectId>> MetaStore::mem_list_dir(
     ObjectId dir) const {
-  std::vector<std::pair<std::string, ObjectId>> out;
-  // Dentries are keyed (dir, name) in an ordered map: one range scan.
-  for (auto it = mem_dentries_.lower_bound({dir, std::string()});
-       it != mem_dentries_.end() && it->first.first == dir; ++it) {
-    out.emplace_back(it->first.second, it->second);
-  }
-  return out;
+  const auto* es = mem_dentries_.entries(dir);
+  if (es == nullptr) return {};
+  return *es;  // already name-sorted
 }
 
 std::optional<Inode> MetaStore::effective_inode(TxnId txn, ObjectId id) const {
   std::optional<Inode> ino = mem_inode(id);
-  auto pit = pending_.find(txn);
-  if (pit == pending_.end()) return ino;
-  for (const Operation& op : pit->second) {
+  const std::vector<Operation>* pend = pending_.find(txn);
+  if (pend == nullptr) return ino;
+  for (const Operation& op : *pend) {
     if (op.target != id) continue;
     switch (op.type) {
       case OpType::kCreateInode:
@@ -83,9 +155,9 @@ std::optional<Inode> MetaStore::effective_inode(TxnId txn, ObjectId id) const {
 std::optional<ObjectId> MetaStore::effective_lookup(
     TxnId txn, ObjectId dir, const std::string& name) const {
   std::optional<ObjectId> child = mem_lookup(dir, name);
-  auto pit = pending_.find(txn);
-  if (pit == pending_.end()) return child;
-  for (const Operation& op : pit->second) {
+  const std::vector<Operation>* pend = pending_.find(txn);
+  if (pend == nullptr) return child;
+  for (const Operation& op : *pend) {
     if (op.target != dir || op.name != name) continue;
     if (op.type == OpType::kAddDentry) child = op.child;
     if (op.type == OpType::kRemoveDentry) child.reset();
@@ -94,9 +166,9 @@ std::optional<ObjectId> MetaStore::effective_lookup(
 }
 
 bool MetaStore::effective_dir_empty(TxnId txn, ObjectId dir) const {
-  std::size_t entries = mem_list_dir(dir).size();
-  if (auto pit = pending_.find(txn); pit != pending_.end()) {
-    for (const Operation& op : pit->second) {
+  std::size_t entries = mem_dentries_.entry_count(dir);
+  if (const std::vector<Operation>* pend = pending_.find(txn)) {
+    for (const Operation& op : *pend) {
       if (op.target != dir) continue;
       if (op.type == OpType::kAddDentry) ++entries;
       if (op.type == OpType::kRemoveDentry) --entries;
@@ -162,7 +234,14 @@ StoreStatus MetaStore::validate(TxnId txn, const Operation& op) const {
 StoreStatus MetaStore::apply(TxnId txn, const Operation& op) {
   const StoreStatus st = validate(txn, op);
   if (st != StoreStatus::kOk) return st;
-  if (!op_is_read(op.type)) pending_[txn].push_back(op);
+  if (!op_is_read(op.type)) {
+    auto [ops, inserted] = pending_.try_emplace(txn);
+    if (inserted && !ops_pool_.empty()) {
+      *ops = std::move(ops_pool_.back());
+      ops_pool_.pop_back();
+    }
+    ops->push_back(op);
+  }
   return StoreStatus::kOk;
 }
 
@@ -171,44 +250,43 @@ void MetaStore::apply_to(const Operation& op, InodeTable& inodes,
   switch (op.type) {
     case OpType::kCreateInode: {
       // Convention: CreateInode with child==target marks a directory.
-      auto [it, inserted] = inodes.emplace(
-          op.target, Inode{op.target, op.child == op.target, 0, 0});
-      (void)it;
+      const bool inserted =
+          inodes
+              .try_emplace(op.target.value(),
+                           Inode{op.target, op.child == op.target, 0, 0})
+              .second;
       SIM_CHECK_MSG(inserted, "CreateInode on existing inode");
       break;
     }
     case OpType::kRemoveInode:
-      SIM_CHECK_MSG(inodes.erase(op.target) == 1,
+      SIM_CHECK_MSG(inodes.erase(op.target.value()),
                     "RemoveInode on missing inode");
       break;
     case OpType::kIncLink: {
-      auto it = inodes.find(op.target);
-      SIM_CHECK_MSG(it != inodes.end(), "IncLink on missing inode");
-      ++it->second.nlink;
+      Inode* ino = inodes.find(op.target.value());
+      SIM_CHECK_MSG(ino != nullptr, "IncLink on missing inode");
+      ++ino->nlink;
       break;
     }
     case OpType::kDecLink: {
-      auto it = inodes.find(op.target);
-      SIM_CHECK_MSG(it != inodes.end(), "DecLink on missing inode");
-      SIM_CHECK_MSG(it->second.nlink > 0, "DecLink underflow");
-      if (--it->second.nlink == 0) inodes.erase(it);
+      Inode* ino = inodes.find(op.target.value());
+      SIM_CHECK_MSG(ino != nullptr, "DecLink on missing inode");
+      SIM_CHECK_MSG(ino->nlink > 0, "DecLink underflow");
+      if (--ino->nlink == 0) inodes.erase(op.target.value());
       break;
     }
     case OpType::kSetAttr: {
-      auto it = inodes.find(op.target);
-      SIM_CHECK_MSG(it != inodes.end(), "SetAttr on missing inode");
-      ++it->second.version;
+      Inode* ino = inodes.find(op.target.value());
+      SIM_CHECK_MSG(ino != nullptr, "SetAttr on missing inode");
+      ++ino->version;
       break;
     }
-    case OpType::kAddDentry: {
-      auto [it, inserted] =
-          dentries.emplace(std::make_pair(op.target, op.name), op.child);
-      (void)it;
-      SIM_CHECK_MSG(inserted, "AddDentry on existing name");
+    case OpType::kAddDentry:
+      SIM_CHECK_MSG(dentries.insert(op.target, op.name, op.child),
+                    "AddDentry on existing name");
       break;
-    }
     case OpType::kRemoveDentry:
-      SIM_CHECK_MSG(dentries.erase({op.target, op.name}) == 1,
+      SIM_CHECK_MSG(dentries.erase(op.target, op.name),
                     "RemoveDentry on missing name");
       break;
     case OpType::kReadAttr:
@@ -216,38 +294,50 @@ void MetaStore::apply_to(const Operation& op, InodeTable& inodes,
   }
 }
 
+void MetaStore::recycle_ops(std::vector<Operation>&& ops) {
+  if (ops_pool_.size() >= kMaxPooledOps) return;
+  ops.clear();
+  ops_pool_.push_back(std::move(ops));
+}
+
 void MetaStore::commit_mem(TxnId txn) {
-  auto it = pending_.find(txn);
-  if (it == pending_.end()) return;  // read-only or empty share
+  std::vector<Operation>* ops = pending_.find(txn);
+  if (ops == nullptr) return;  // read-only or empty share
   SIM_CHECK_MSG(!unflushed_.contains(txn), "commit_mem called twice");
-  for (const Operation& op : it->second) {
+  for (const Operation& op : *ops) {
     apply_to(op, mem_inodes_, mem_dentries_);
   }
-  unflushed_.emplace(txn, std::move(it->second));
-  pending_.erase(it);
+  unflushed_.try_emplace(txn, std::move(*ops));
+  pending_.erase(txn);
 }
 
 void MetaStore::commit_stable(TxnId txn) {
-  auto it = unflushed_.find(txn);
-  if (it == unflushed_.end()) return;  // read-only or empty share
-  for (const Operation& op : it->second) {
+  std::vector<Operation>* ops = unflushed_.find(txn);
+  if (ops == nullptr) return;  // read-only or empty share
+  for (const Operation& op : *ops) {
     apply_to(op, stable_inodes_, stable_dentries_);
   }
   stable_applied_.insert(txn);
-  unflushed_.erase(it);
+  std::vector<Operation> shell = std::move(*ops);
+  unflushed_.erase(txn);
+  recycle_ops(std::move(shell));
 }
 
 void MetaStore::abort_txn(TxnId txn) {
   SIM_CHECK_MSG(!unflushed_.contains(txn),
                 "abort after commit_mem is a protocol bug");
-  pending_.erase(txn);
+  if (std::vector<Operation>* ops = pending_.find(txn)) {
+    std::vector<Operation> shell = std::move(*ops);
+    pending_.erase(txn);
+    recycle_ops(std::move(shell));
+  }
 }
 
 void MetaStore::crash() {
   pending_.clear();
   unflushed_.clear();
-  mem_inodes_ = stable_inodes_;
-  mem_dentries_ = stable_dentries_;
+  mem_inodes_.clone_from(stable_inodes_);
+  mem_dentries_.clone_from(stable_dentries_);
 }
 
 bool MetaStore::replay_committed(TxnId txn,
@@ -263,52 +353,54 @@ bool MetaStore::replay_committed(TxnId txn,
 }
 
 std::optional<Inode> MetaStore::stable_inode(ObjectId id) const {
-  auto it = stable_inodes_.find(id);
-  if (it == stable_inodes_.end()) return std::nullopt;
-  return it->second;
+  const Inode* ino = stable_inodes_.find(id.value());
+  if (ino == nullptr) return std::nullopt;
+  return *ino;
 }
 
 std::optional<ObjectId> MetaStore::stable_lookup(
     ObjectId dir, const std::string& name) const {
-  auto it = stable_dentries_.find({dir, name});
-  if (it == stable_dentries_.end()) return std::nullopt;
-  return it->second;
+  const ObjectId* child = stable_dentries_.find(dir, name);
+  if (child == nullptr) return std::nullopt;
+  return *child;
 }
 
 std::vector<std::tuple<ObjectId, std::string, ObjectId>>
 MetaStore::stable_dentries() const {
   std::vector<std::tuple<ObjectId, std::string, ObjectId>> out;
   out.reserve(stable_dentries_.size());
-  for (const auto& [key, child] : stable_dentries_) {
-    out.emplace_back(key.first, key.second, child);
-  }
+  stable_dentries_.for_each_entry(
+      [&out](ObjectId dir, const std::string& name, ObjectId child) {
+        out.emplace_back(dir, name, child);
+      });
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<Inode> MetaStore::stable_inodes() const {
   std::vector<Inode> out;
   out.reserve(stable_inodes_.size());
-  for (const auto& [id, ino] : stable_inodes_) {
-    (void)id;
-    out.push_back(ino);
-  }
+  stable_inodes_.for_each(
+      [&out](const std::uint64_t&, const Inode& ino) { out.push_back(ino); });
+  std::sort(out.begin(), out.end(),
+            [](const Inode& a, const Inode& b) { return a.id < b.id; });
   return out;
 }
 
 const std::vector<Operation>& MetaStore::pending_ops(TxnId txn) const {
-  auto it = pending_.find(txn);
-  return it == pending_.end() ? kNoOps : it->second;
+  const std::vector<Operation>* ops = pending_.find(txn);
+  return ops == nullptr ? kNoOps : *ops;
 }
 
 void MetaStore::bootstrap_inode(const Inode& ino) {
-  mem_inodes_[ino.id] = ino;
-  stable_inodes_[ino.id] = ino;
+  mem_inodes_[ino.id.value()] = ino;
+  stable_inodes_[ino.id.value()] = ino;
 }
 
 void MetaStore::bootstrap_dentry(ObjectId dir, const std::string& name,
                                  ObjectId child) {
-  mem_dentries_[{dir, name}] = child;
-  stable_dentries_[{dir, name}] = child;
+  mem_dentries_.upsert(dir, name, child);
+  stable_dentries_.upsert(dir, name, child);
 }
 
 }  // namespace opc

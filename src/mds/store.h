@@ -23,16 +23,20 @@
 // the simulator keeps the answer as part of stable state, so recovery can
 // replay a committed transaction exactly once no matter how often it is
 // re-driven.
+//
+// Hot-path memory: the four metadata tables are open-addressing FlatMaps
+// (dentries grouped per directory as name-sorted vectors), and the
+// per-transaction op vectors are recycled through a shell pool, so the
+// steady-state apply/commit cycle allocates only when a table doubles.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <string_view>
 #include <vector>
 
+#include "core/flat.h"
 #include "net/types.h"
 #include "txn/types.h"
 
@@ -130,8 +134,11 @@ class MetaStore {
   [[nodiscard]] std::size_t stable_dentry_count() const {
     return stable_dentries_.size();
   }
+  /// (dir, name, child) tuples sorted by (dir, name) — the iteration order
+  /// of the ordered map this table replaced.
   [[nodiscard]] std::vector<std::tuple<ObjectId, std::string, ObjectId>>
   stable_dentries() const;
+  /// Inodes sorted by id.
   [[nodiscard]] std::vector<Inode> stable_inodes() const;
 
   /// Cached (not yet mem-committed) ops for a transaction.
@@ -147,23 +154,63 @@ class MetaStore {
   void bootstrap_dentry(ObjectId dir, const std::string& name, ObjectId child);
 
  private:
-  using InodeTable = std::map<ObjectId, Inode>;
-  using DentryTable = std::map<std::pair<ObjectId, std::string>, ObjectId>;
+  using InodeTable = FlatMap<std::uint64_t, Inode>;
+
+  /// Dentries grouped per directory: a flat table keyed by directory id
+  /// whose values are name-sorted entry vectors.  Lookup is a hash probe
+  /// plus a binary search; readdir is a copy of an already-sorted vector.
+  class DentryTable {
+   public:
+    using Entries = std::vector<std::pair<std::string, ObjectId>>;
+
+    [[nodiscard]] std::size_t size() const { return size_; }
+    /// Child for (dir, name), or nullptr.
+    [[nodiscard]] const ObjectId* find(ObjectId dir,
+                                       std::string_view name) const;
+    /// False (and no change) if the name already exists in dir.
+    bool insert(ObjectId dir, const std::string& name, ObjectId child);
+    bool erase(ObjectId dir, std::string_view name);
+    /// Insert-or-overwrite (bootstrap semantics).
+    void upsert(ObjectId dir, const std::string& name, ObjectId child);
+    [[nodiscard]] std::size_t entry_count(ObjectId dir) const;
+    /// Name-sorted entries of one directory, or nullptr if it has none.
+    [[nodiscard]] const Entries* entries(ObjectId dir) const;
+    void clear();
+    void clone_from(const DentryTable& o);
+    /// Visits (dir, name, child) in hash order; callers sort if they need
+    /// a deterministic dump.
+    template <class F>
+    void for_each_entry(F&& fn) const {
+      dirs_.for_each([&fn](const std::uint64_t& dir, const Entries& es) {
+        for (const auto& [name, child] : es) fn(ObjectId(dir), name, child);
+      });
+    }
+
+   private:
+    [[nodiscard]] static Entries::const_iterator lower_bound(
+        const Entries& es, std::string_view name);
+    FlatMap<std::uint64_t, Entries> dirs_;
+    std::size_t size_ = 0;
+  };
 
   [[nodiscard]] StoreStatus validate(TxnId txn, const Operation& op) const;
   /// True if `dir` has no entries in the transaction's effective view.
   [[nodiscard]] bool effective_dir_empty(TxnId txn, ObjectId dir) const;
   static void apply_to(const Operation& op, InodeTable& inodes,
                        DentryTable& dentries);
+  void recycle_ops(std::vector<Operation>&& ops);
 
   NodeId owner_;
   InodeTable mem_inodes_;
   DentryTable mem_dentries_;
   InodeTable stable_inodes_;
   DentryTable stable_dentries_;
-  std::unordered_map<TxnId, std::vector<Operation>> pending_;
-  std::unordered_map<TxnId, std::vector<Operation>> unflushed_;
-  std::unordered_set<TxnId> stable_applied_;
+  FlatMap<TxnId, std::vector<Operation>> pending_;
+  FlatMap<TxnId, std::vector<Operation>> unflushed_;
+  FlatSet<TxnId> stable_applied_;
+  // Recycled op-vector shells (bounded): apply() checks one out, the
+  // commit/abort paths return it.
+  std::vector<std::vector<Operation>> ops_pool_;
 };
 
 }  // namespace opc

@@ -14,26 +14,34 @@ void Network::attach(NodeId node, Handler handler) {
 void Network::detach(NodeId node) { handlers_.erase(node); }
 
 void Network::send(Envelope env) {
-  stats_.add("net.sent");
-  trace_.record(env_.now(), TraceKind::kMessageSend, env.from.str(),
-                env.kind + " -> " + env.to.str(), env.txn);
+  c_sent_.add();
+  if (trace_.active()) {
+    trace_.record(env_.now(), TraceKind::kMessageSend, env.from.str(),
+                  env.kind + " -> " + env.to.str(), env.txn);
+  }
 
   if (severed(env.from, env.to)) {
     stats_.add("net.dropped.partition");
-    trace_.record(env_.now(), TraceKind::kMessageDrop, env.from.str(),
-                  env.kind + " (partitioned) -> " + env.to.str(), env.txn);
+    if (trace_.active()) {
+      trace_.record(env_.now(), TraceKind::kMessageDrop, env.from.str(),
+                    env.kind + " (partitioned) -> " + env.to.str(), env.txn);
+    }
     return;
   }
   if (cfg_.loss_probability > 0.0 && rng_.bernoulli(cfg_.loss_probability)) {
     stats_.add("net.dropped.loss");
-    trace_.record(env_.now(), TraceKind::kMessageDrop, env.from.str(),
-                  env.kind + " (lost) -> " + env.to.str(), env.txn);
+    if (trace_.active()) {
+      trace_.record(env_.now(), TraceKind::kMessageDrop, env.from.str(),
+                    env.kind + " (lost) -> " + env.to.str(), env.txn);
+    }
     return;
   }
   if (drop_filter_ && drop_filter_(env)) {
     stats_.add("net.dropped.filter");
-    trace_.record(env_.now(), TraceKind::kMessageDrop, env.from.str(),
-                  env.kind + " (filtered) -> " + env.to.str(), env.txn);
+    if (trace_.active()) {
+      trace_.record(env_.now(), TraceKind::kMessageDrop, env.from.str(),
+                    env.kind + " (filtered) -> " + env.to.str(), env.txn);
+    }
     return;
   }
 
@@ -57,11 +65,21 @@ void Network::send(Envelope env) {
   channel_clock_[ch] = when;
 
   // Box the envelope: a 16-byte {this, unique_ptr} capture stays on the
-  // kernel's allocation-free inline-callback path (one envelope allocation
-  // instead of a std::function control block that re-copies the payload).
-  auto boxed = std::make_unique<Envelope>(std::move(env));
-  auto deliver_cb = [this, boxed = std::move(boxed)] {
-    deliver(std::move(*boxed));
+  // kernel's allocation-free inline-callback path.  Boxes are recycled
+  // through box_pool_, so steady state moves the envelope without any heap
+  // traffic (the envelope's inline MessageBody carries the payload).
+  std::unique_ptr<Envelope> boxed;
+  if (!box_pool_.empty()) {
+    boxed = std::move(box_pool_.back());
+    box_pool_.pop_back();
+    *boxed = std::move(env);
+  } else {
+    boxed = std::make_unique<Envelope>(std::move(env));
+  }
+  auto deliver_cb = [this, boxed = std::move(boxed)]() mutable {
+    Envelope e = std::move(*boxed);
+    box_pool_.push_back(std::move(boxed));
+    deliver(std::move(e));
   };
   OPC_ASSERT_INLINE_CB(deliver_cb);
   env_.schedule_at(when, std::move(deliver_cb));
@@ -72,21 +90,29 @@ void Network::deliver(Envelope env) {
   // packet is on the wire while the link goes dark.
   if (severed(env.from, env.to)) {
     stats_.add("net.dropped.partition");
-    trace_.record(env_.now(), TraceKind::kMessageDrop, env.to.str(),
-                  env.kind + " (partitioned in flight) from " + env.from.str(),
-                  env.txn);
+    if (trace_.active()) {
+      trace_.record(env_.now(), TraceKind::kMessageDrop, env.to.str(),
+                    env.kind + " (partitioned in flight) from " +
+                        env.from.str(),
+                    env.txn);
+    }
     return;
   }
   auto it = handlers_.find(env.to);
   if (it == handlers_.end()) {
     stats_.add("net.dropped.down");
-    trace_.record(env_.now(), TraceKind::kMessageDrop, env.to.str(),
-                  env.kind + " (node down) from " + env.from.str(), env.txn);
+    if (trace_.active()) {
+      trace_.record(env_.now(), TraceKind::kMessageDrop, env.to.str(),
+                    env.kind + " (node down) from " + env.from.str(),
+                    env.txn);
+    }
     return;
   }
-  stats_.add("net.delivered");
-  trace_.record(env_.now(), TraceKind::kMessageRecv, env.to.str(),
-                env.kind + " <- " + env.from.str(), env.txn);
+  c_delivered_.add();
+  if (trace_.active()) {
+    trace_.record(env_.now(), TraceKind::kMessageRecv, env.to.str(),
+                  env.kind + " <- " + env.from.str(), env.txn);
+  }
   // Copy the handler: the callback may detach/re-attach the node.
   Handler h = it->second;
   h(std::move(env));

@@ -14,16 +14,18 @@
 //     it are dropped.  This models the receive-side loss of a crash.
 //   * Probabilistic loss — optional, for stress tests.
 //
-// The payload travels as std::any: the network is deliberately ignorant of
-// protocol message contents; the ACP layer defines and downcasts its own
-// message struct (src/acp/messages.h).
+// The payload travels as an inline MessageBody (env/message_body.h): the
+// network is deliberately ignorant of protocol message contents; the ACP
+// layer defines and downcasts its own message struct (src/acp/messages.h).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "env/env.h"
 #include "env/transport.h"
@@ -48,7 +50,8 @@ class Network final : public Transport {
   Network(Env& env, NetworkConfig cfg, StatsRegistry& stats,
           TraceRecorder& trace, std::uint64_t seed = 1)
       : env_(env), cfg_(cfg), stats_(stats), trace_(trace),
-        rng_(seed, /*stream=*/0xA11CE) {}
+        rng_(seed, /*stream=*/0xA11CE), c_sent_(stats, "net.sent"),
+        c_delivered_(stats, "net.delivered") {}
 
   /// Attaches the receive handler for a node; replaces any previous one.
   /// A node with no handler (never attached, or detached by a crash) drops
@@ -110,12 +113,18 @@ class Network final : public Transport {
   StatsRegistry& stats_;
   TraceRecorder& trace_;
   Rng rng_;
+  Counter c_sent_;
+  Counter c_delivered_;
   std::function<bool(const Envelope&)> drop_filter_;
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_set<std::uint64_t> severed_;
   // Last scheduled delivery time per directed channel, for FIFO enforcement
   // under jitter.
   std::unordered_map<std::uint64_t, SimTime> channel_clock_;
+  // Recycled envelope boxes for in-flight messages: a send pops a box (or
+  // allocates the first few), the delivery callback returns it.  Steady
+  // state moves envelopes through without touching the heap.
+  std::vector<std::unique_ptr<Envelope>> box_pool_;
 };
 
 }  // namespace opc

@@ -73,6 +73,12 @@ class TraceRecorder {
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// True when record() would do anything.  Hot paths that build event
+  /// strings (actor/detail concatenation) check this first so a disabled
+  /// recorder costs nothing — throughput runs would otherwise pay a string
+  /// allocation per event just to have record() discard it.
+  [[nodiscard]] bool active() const { return enabled_ || observer_ != nullptr; }
+
   /// Installs (or with nullptr, removes) the single live observer.
   void set_observer(Observer obs) { observer_ = std::move(obs); }
 

@@ -38,6 +38,18 @@ class StatsRegistry {
     return it == counters_.end() ? 0 : it->second;
   }
 
+  /// Stable reference to the named counter's storage, creating it at zero
+  /// if absent.  CounterMap is node-based, so the reference stays valid for
+  /// the registry's lifetime (clear() is never used on live registries).
+  /// Hot paths bind once and bump through the reference instead of paying a
+  /// map walk per add.
+  [[nodiscard]] std::int64_t& slot(std::string_view name) {
+    if (auto it = counters_.find(name); it != counters_.end()) {
+      return it->second;
+    }
+    return counters_.emplace(std::string(name), 0).first->second;
+  }
+
   /// Sets a counter to an absolute value (used for gauges).
   void set(std::string_view name, std::int64_t value) {
     if (auto it = counters_.find(name); it != counters_.end()) {
@@ -65,6 +77,34 @@ class StatsRegistry {
 
  private:
   CounterMap counters_;
+};
+
+/// Cached handle to one registry counter.
+///
+/// Binds lazily on the first bump rather than at construction: report
+/// builders dump *every* registered counter, so eagerly registering a
+/// counter that a given run never touches would change report output.  A
+/// Counter that is never bumped leaves no trace in the registry.
+///
+/// The name must outlive the Counter (string literals in practice).
+class Counter {
+ public:
+  Counter(StatsRegistry& reg, std::string_view name)
+      : reg_(&reg), name_(name) {}
+
+  void add(std::int64_t delta = 1) {
+    if (slot_ == nullptr) slot_ = &reg_->slot(name_);
+    *slot_ += delta;
+  }
+
+  [[nodiscard]] std::int64_t value() const {
+    return slot_ != nullptr ? *slot_ : reg_->get(name_);
+  }
+
+ private:
+  StatsRegistry* reg_;
+  std::string_view name_;
+  std::int64_t* slot_ = nullptr;
 };
 
 }  // namespace opc

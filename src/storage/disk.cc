@@ -7,7 +7,7 @@ namespace opc {
 void Disk::write(NodeId owner, std::uint64_t size_bytes, std::string kind,
                  Completion on_durable) {
   SIM_CHECK(on_durable != nullptr);
-  stats_.add("disk." + name_ + ".writes");
+  c_writes_.add();
   queue_.push_back(Request{owner, size_bytes, std::move(kind), /*is_read=*/false,
                            std::move(on_durable), next_id_++});
   maybe_start();
@@ -16,7 +16,7 @@ void Disk::write(NodeId owner, std::uint64_t size_bytes, std::string kind,
 void Disk::read(NodeId owner, std::uint64_t size_bytes, std::string kind,
                 Completion on_done) {
   SIM_CHECK(on_done != nullptr);
-  stats_.add("disk." + name_ + ".reads");
+  c_reads_.add();
   queue_.push_back(Request{owner, size_bytes, std::move(kind), /*is_read=*/true,
                            std::move(on_done), next_id_++});
   maybe_start();
@@ -40,8 +40,7 @@ void Disk::cancel_owner(NodeId owner) {
     ++dropped;
   }
   if (dropped > 0) {
-    stats_.add("disk." + name_ + ".cancelled",
-               static_cast<std::int64_t>(dropped));
+    c_cancelled_.add(static_cast<std::int64_t>(dropped));
   }
 }
 
@@ -58,8 +57,10 @@ void Disk::maybe_start() {
   in_service_kind_ = req.kind;
   service_started_ = env_.now();
 
-  trace_.record(env_.now(), TraceKind::kLogForceStart, name_,
-                req.kind + (req.is_read ? " [read]" : ""));
+  if (trace_.active()) {
+    trace_.record(env_.now(), TraceKind::kLogForceStart, name_,
+                  req.kind + (req.is_read ? " [read]" : ""));
+  }
   const Duration svc = service_time(req.size);
   const std::uint64_t id = req.id;
   env_.schedule_after(svc, [this, id] { finish(id); });
@@ -75,11 +76,13 @@ void Disk::finish(std::uint64_t id) {
   in_service_done_ = nullptr;
 
   if (!cancelled) {
-    trace_.record(env_.now(), TraceKind::kLogForceDone, name_, kind);
-    stats_.add("disk." + name_ + ".completed");
+    if (trace_.active()) {
+      trace_.record(env_.now(), TraceKind::kLogForceDone, name_, kind);
+    }
+    c_completed_.add();
     done();
   } else {
-    stats_.add("disk." + name_ + ".aborted_in_service");
+    c_aborted_.add();
   }
   maybe_start();
 }

@@ -17,11 +17,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "env/env.h"
 #include "net/types.h"
+#include "sim/inline_callback.h"
 #include "sim/trace.h"
 #include "stats/counters.h"
 
@@ -34,12 +34,22 @@ struct DiskConfig {
 
 class Disk {
  public:
-  using Completion = std::function<void()>;
+  using Completion = InlineCallback<void(), kInlineCallbackBytes>;
 
   Disk(Env& env, std::string name, DiskConfig cfg, StatsRegistry& stats,
        TraceRecorder& trace)
       : env_(env), name_(std::move(name)), cfg_(cfg), stats_(stats),
-        trace_(trace) {}
+        trace_(trace),
+        sn_writes_("disk." + name_ + ".writes"),
+        sn_reads_("disk." + name_ + ".reads"),
+        sn_completed_("disk." + name_ + ".completed"),
+        sn_cancelled_("disk." + name_ + ".cancelled"),
+        sn_aborted_("disk." + name_ + ".aborted_in_service"),
+        c_writes_(stats, sn_writes_),
+        c_reads_(stats, sn_reads_),
+        c_completed_(stats, sn_completed_),
+        c_cancelled_(stats, sn_cancelled_),
+        c_aborted_(stats, sn_aborted_) {}
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
@@ -105,6 +115,18 @@ class Disk {
   DiskConfig cfg_;
   StatsRegistry& stats_;
   TraceRecorder& trace_;
+  // Counter names are composed from name_ once; Counter holds a view into
+  // them, so they must live as long as the counters below.
+  const std::string sn_writes_;
+  const std::string sn_reads_;
+  const std::string sn_completed_;
+  const std::string sn_cancelled_;
+  const std::string sn_aborted_;
+  Counter c_writes_;
+  Counter c_reads_;
+  Counter c_completed_;
+  Counter c_cancelled_;
+  Counter c_aborted_;
   std::deque<Request> queue_;
   double degrade_factor_ = 1.0;
   bool in_service_ = false;

@@ -3,6 +3,10 @@
 #include <utility>
 
 namespace opc {
+namespace {
+constexpr std::size_t kMaxPooledRecs = 32;
+constexpr std::size_t kMaxPooledBatches = 8;
+}  // namespace
 
 std::uint64_t LogWriter::padded(std::uint64_t bytes) const {
   if (cfg_.force_pad_to == 0) return bytes;
@@ -11,15 +15,28 @@ std::uint64_t LogWriter::padded(std::uint64_t bytes) const {
   return std::max<std::uint64_t>(blocks, 1) * cfg_.force_pad_to;
 }
 
+std::vector<LogRecord> LogWriter::checkout_recs() {
+  if (recs_pool_.empty()) return {};
+  std::vector<LogRecord> v = std::move(recs_pool_.back());
+  recs_pool_.pop_back();
+  return v;
+}
+
+void LogWriter::recycle_recs(std::vector<LogRecord>&& recs) {
+  if (recs_pool_.size() >= kMaxPooledRecs) return;
+  recs.clear();
+  recs_pool_.push_back(std::move(recs));
+}
+
 void LogWriter::force(std::vector<LogRecord> recs, WriteTag tag,
-                      std::function<void()> on_durable) {
+                      ForceCallback on_durable) {
   SIM_CHECK(on_durable != nullptr);
   if (crashed_ || part_.fenced()) {
     stats_.add("wal.force.dropped");
     return;  // the continuation is intentionally lost
   }
-  stats_.add("wal.force.count");
-  if (tag.critical) stats_.add("wal.force.critical");
+  c_force_count_.add();
+  if (tag.critical) c_force_critical_.add();
 
   // Piggyback: lazily buffered records ride this force's block for free.
   if (!lazy_buf_.empty()) {
@@ -37,22 +54,33 @@ void LogWriter::force(std::vector<LogRecord> recs, WriteTag tag,
     return;
   }
   std::vector<PendingForce> batch;
+  if (!batch_pool_.empty()) {
+    batch = std::move(batch_pool_.back());
+    batch_pool_.pop_back();
+  }
   batch.push_back(std::move(pf));
   submit(std::move(batch));
 }
 
 void LogWriter::submit(std::vector<PendingForce> batch) {
   std::uint64_t bytes = 0;
-  std::string label = "force:" + owner_.str();
   for (const auto& pf : batch) {
-    for (const auto& r : pf.recs) {
-      bytes += r.modeled_bytes;
-      label += ' ';
-      label += record_type_name(r.type);
+    for (const auto& r : pf.recs) bytes += r.modeled_bytes;
+  }
+  // The label only feeds trace output; skip composing it when nobody reads
+  // it (the disk guards its own record calls the same way).
+  std::string label;
+  if (trace_.active()) {
+    label = "force:" + owner_.str();
+    for (const auto& pf : batch) {
+      for (const auto& r : pf.recs) {
+        label += ' ';
+        label += record_type_name(r.type);
+      }
     }
   }
   bytes = padded(bytes);
-  stats_.add("wal.force.bytes", static_cast<std::int64_t>(bytes));
+  c_force_bytes_.add(static_cast<std::int64_t>(bytes));
 
   force_in_flight_ = true;
   ++outstanding_forces_;
@@ -65,12 +93,17 @@ void LogWriter::submit(std::vector<PendingForce> batch) {
         if (epoch != crash_epoch_ || crashed_) return;
         --outstanding_forces_;
         for (auto& pf : batch) {
-          part_.append_durable(std::move(pf.recs));
+          part_.append_durable(pf.recs);
         }
         force_in_flight_ = false;
         // Run continuations after the durable append so they observe the
         // records in the partition.
         for (auto& pf : batch) pf.done();
+        for (auto& pf : batch) recycle_recs(std::move(pf.recs));
+        batch.clear();
+        if (batch_pool_.size() < kMaxPooledBatches) {
+          batch_pool_.push_back(std::move(batch));
+        }
         if (!coalesce_queue_.empty()) {
           auto next = std::move(coalesce_queue_);
           coalesce_queue_.clear();
@@ -84,12 +117,14 @@ void LogWriter::lazy(LogRecord rec, WriteTag tag) {
     stats_.add("wal.lazy.dropped");
     return;
   }
-  stats_.add("wal.lazy.count");
-  if (tag.critical) stats_.add("wal.lazy.critical");
-  trace_.record(env_.now(), TraceKind::kLogLazyWrite, owner_.str(),
-                "lazy " + std::string(record_type_name(rec.type)) + " (" +
-                    tag.label + ")",
-                rec.txn);
+  c_lazy_count_.add();
+  if (tag.critical) c_lazy_critical_.add();
+  if (trace_.active()) {
+    trace_.record(env_.now(), TraceKind::kLogLazyWrite, owner_.str(),
+                  "lazy " + std::string(record_type_name(rec.type)) + " (" +
+                      tag.label + ")",
+                  rec.txn);
+  }
   lazy_buf_.push_back(std::move(rec));
   schedule_lazy_flush();
 }
@@ -105,10 +140,13 @@ void LogWriter::schedule_lazy_flush() {
       std::uint64_t bytes = 0;
       for (const auto& r : recs) bytes += r.modeled_bytes;
       const std::uint64_t epoch = crash_epoch_;
-      part_.device().write(owner_, padded(bytes), "lazyflush:" + owner_.str(),
+      std::string label;
+      if (trace_.active()) label = "lazyflush:" + owner_.str();
+      part_.device().write(owner_, padded(bytes), std::move(label),
                            [this, epoch, recs = std::move(recs)]() mutable {
                              if (epoch != crash_epoch_ || crashed_) return;
-                             part_.append_durable(std::move(recs));
+                             part_.append_durable(recs);
+                             recycle_recs(std::move(recs));
                            });
     } else {
       // Background flush modeled as free: the device would absorb these in
@@ -120,10 +158,12 @@ void LogWriter::schedule_lazy_flush() {
         lazy_buf_.insert(lazy_buf_.begin(),
                          std::make_move_iterator(recs.begin()),
                          std::make_move_iterator(recs.end()));
+        recycle_recs(std::move(recs));
         schedule_lazy_flush();
         return;
       }
-      part_.append_durable(std::move(recs));
+      part_.append_durable(recs);
+      recycle_recs(std::move(recs));
     }
   };
   OPC_ASSERT_INLINE_CB(flush_cb);

@@ -19,10 +19,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "wal/partition.h"
 
 namespace opc {
@@ -45,19 +45,31 @@ struct WriteTag {
 
 class LogWriter {
  public:
+  using ForceCallback = InlineCallback<void(), kInlineCallbackBytes>;
+
   LogWriter(Env& env, NodeId owner, LogPartition& part,
             StatsRegistry& stats, TraceRecorder& trace, WalConfig cfg)
       : env_(env), owner_(owner), part_(part), stats_(stats), trace_(trace),
-        cfg_(cfg) {}
+        cfg_(cfg),
+        c_force_count_(stats, "wal.force.count"),
+        c_force_critical_(stats, "wal.force.critical"),
+        c_force_bytes_(stats, "wal.force.bytes"),
+        c_lazy_count_(stats, "wal.lazy.count"),
+        c_lazy_critical_(stats, "wal.lazy.critical") {}
 
   LogWriter(const LogWriter&) = delete;
   LogWriter& operator=(const LogWriter&) = delete;
+
+  /// A record vector with retained capacity, recycled from completed
+  /// forces.  Building force() batches out of these keeps the steady state
+  /// off the allocator.
+  [[nodiscard]] std::vector<LogRecord> checkout_recs();
 
   /// Synchronous (forced) write.  `on_durable` fires when stable; it never
   /// fires if the writer crashes or is fenced first.  Any lazily buffered
   /// records ride along in the same block for free.
   void force(std::vector<LogRecord> recs, WriteTag tag,
-             std::function<void()> on_durable);
+             ForceCallback on_durable);
 
   /// Asynchronous write: buffered now, durable later (next force or
   /// background flush), lost on crash.
@@ -82,11 +94,12 @@ class LogWriter {
  private:
   struct PendingForce {
     std::vector<LogRecord> recs;
-    std::function<void()> done;
+    ForceCallback done;
   };
 
   void submit(std::vector<PendingForce> batch);
   void schedule_lazy_flush();
+  void recycle_recs(std::vector<LogRecord>&& recs);
   [[nodiscard]] std::uint64_t padded(std::uint64_t bytes) const;
 
   Env& env_;
@@ -103,6 +116,15 @@ class LogWriter {
   std::vector<LogRecord> lazy_buf_;
   TimerHandle lazy_flush_timer_;
   std::uint64_t crash_epoch_ = 0;  // invalidates in-flight continuations
+
+  Counter c_force_count_;
+  Counter c_force_critical_;
+  Counter c_force_bytes_;
+  Counter c_lazy_count_;
+  Counter c_lazy_critical_;
+  // Recycled shells (bounded; see recycle_recs / submit).
+  std::vector<std::vector<LogRecord>> recs_pool_;
+  std::vector<std::vector<PendingForce>> batch_pool_;
 };
 
 }  // namespace opc

@@ -40,10 +40,13 @@ class LogPartition {
   [[nodiscard]] bool fenced() const { return fenced_; }
   void set_fenced(bool f) { fenced_ = f; }
 
-  /// Appends records that have just become durable.
-  void append_durable(std::vector<LogRecord> recs) {
+  /// Appends records that have just become durable.  The vector is drained
+  /// but keeps its capacity, so callers can recycle the shell.
+  void append_durable(std::vector<LogRecord>& recs) {
     for (auto& r : recs) records_.push_back(std::move(r));
+    recs.clear();
   }
+  void append_durable(std::vector<LogRecord>&& recs) { append_durable(recs); }
 
   [[nodiscard]] const std::vector<LogRecord>& records() const {
     return records_;

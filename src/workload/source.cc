@@ -14,25 +14,44 @@ void ClosedLoopSource::issue(bool retry) {
   Transaction txn;
   if (!make_txn(txn, retry)) return;
   ++issued_;
-  stats_.add("workload.issued");
+  c_issued_.add();
   const std::uint64_t gen = ++watchdog_gen_;
   outstanding_.insert(gen);
 
-  // The callback owns a copy of the transaction body so on_outcome can
-  // update the client-side namespace image.
-  cluster_.submit(txn, [this, txn, gen](TxnId, TxnOutcome outcome) {
-    complete(txn, outcome, gen);
-  });
+  if (wants_outcome_body()) {
+    // The callback owns a copy of the transaction body so on_outcome can
+    // update the client-side namespace image.
+    if (cfg_.client_timeout > Duration::zero()) {
+      env_.schedule_after(cfg_.client_timeout, [this, txn, gen] {
+        if (!outstanding_.erase(gen)) return;  // already completed
+        ++lost_;
+        c_lost_.add();
+        on_outcome(txn, TxnOutcome::kPending);
+        issue(true);
+      });
+    }
+    AcpEngine::ClientCallback cb = [this, txn,
+                                    gen](TxnId, TxnOutcome outcome) {
+      complete(txn, outcome, gen);
+    };
+    cluster_.submit(std::move(txn), std::move(cb));
+    return;
+  }
 
+  // on_outcome is a no-op for this source: no body copy needed, and the
+  // transaction itself is moved all the way into the engine.
   if (cfg_.client_timeout > Duration::zero()) {
-    env_.schedule_after(cfg_.client_timeout, [this, txn, gen] {
+    env_.schedule_after(cfg_.client_timeout, [this, gen] {
       if (!outstanding_.erase(gen)) return;  // already completed
       ++lost_;
-      stats_.add("workload.lost");
-      on_outcome(txn, TxnOutcome::kPending);
+      c_lost_.add();
       issue(true);
     });
   }
+  static const Transaction kNoBody{};
+  cluster_.submit(std::move(txn), [this, gen](TxnId, TxnOutcome outcome) {
+    complete(kNoBody, outcome, gen);
+  });
 }
 
 void ClosedLoopSource::complete(const Transaction& txn, TxnOutcome outcome,
@@ -42,7 +61,7 @@ void ClosedLoopSource::complete(const Transaction& txn, TxnOutcome outcome,
     // but the operation really ran — a late commit still counts toward
     // system throughput (the paper measures completed operations, not
     // client-visible ones) and still updates the image.
-    stats_.add("workload.late_replies");
+    c_late_.add();
     if (outcome == TxnOutcome::kCommitted) {
       ++committed_;
       meter_.record(env_.now());
@@ -55,10 +74,10 @@ void ClosedLoopSource::complete(const Transaction& txn, TxnOutcome outcome,
   if (outcome == TxnOutcome::kCommitted) {
     ++committed_;
     meter_.record(env_.now());
-    stats_.add("workload.committed");
+    c_committed_.add();
   } else {
     ++aborted_;
-    stats_.add("workload.aborted");
+    c_aborted_.add();
     if (!cfg_.resubmit_aborted) return;
   }
   Duration pause = cfg_.think_time;

@@ -195,7 +195,7 @@ TEST(StaleMessages, LateAcksAndCommitsForFinishedTxnsAreHarmless) {
     env.to = to;
     env.kind = std::string(msg_type_name(type));
     env.txn = txn;
-    env.payload = m;
+    env.payload.emplace<Msg>(m);
     f.cluster->network().send(std::move(env));
   };
   stale(MsgType::kCommit, NodeId(0), NodeId(1));

@@ -118,7 +118,7 @@ TEST(MsgDropTest, LostFsRpcTimesOutCleanly) {
   env.from = NodeId(7);
   env.to = NodeId(0);
   env.kind = "FS_REQ";
-  env.payload = FsRpc{};
+  env.payload.emplace<FsRpc>();
   cluster.network().send(std::move(env));
   sim.run();
   EXPECT_FALSE(answered) << "the request was dropped; no reply may arrive";
