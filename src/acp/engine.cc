@@ -841,7 +841,7 @@ void AcpEngine::finish_coordination(TxnId id, TxnOutcome outcome) {
 // Worker side
 // ---------------------------------------------------------------------------
 
-void AcpEngine::worker_handle_update_req(const Msg& m) {
+void AcpEngine::worker_handle_update_req(Msg& m) {
   const TxnId id = m.txn;
   if (WorkTxn* wt = work_of(id); wt != nullptr) {
     // Duplicate (coordinator recovery re-sent it).  Resend whatever we last
@@ -886,7 +886,7 @@ void AcpEngine::worker_handle_update_req(const Msg& m) {
   wt.id = id;
   wt.coord = m.from;
   wt.proto = m.proto;
-  wt.ops = m.ops;
+  wt.ops = std::move(m.ops);
   wt.prepare_on_update = m.piggyback_prepare;
   wt.commit_on_update = m.piggyback_commit;
   wt.phase = WorkPhase::kLocking;
@@ -1268,7 +1268,7 @@ void AcpEngine::on_message(Envelope env) {
     deferred_msgs_.push_back(std::move(env));
     return;
   }
-  const Msg& m = *env.payload.get<Msg>();
+  Msg& m = *env.payload.get<Msg>();
   switch (m.type) {
     case MsgType::kUpdateReq:
       worker_handle_update_req(m);

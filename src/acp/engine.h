@@ -207,7 +207,9 @@ class AcpEngine {
   void on_response_timeout(TxnId id);
 
   // ---- worker path (engine.cc) ----
-  void worker_handle_update_req(const Msg& m);
+  // Non-const: the envelope owns the Msg, so the ops vector is moved
+  // into the WorkTxn instead of copied.
+  void worker_handle_update_req(Msg& m);
   void worker_acquire_next_lock(TxnId id);
   void worker_run_updates(TxnId id);
   void worker_after_updates(TxnId id);

@@ -27,11 +27,17 @@ std::uint64_t msg_wire_size(const Msg& m) {
 }
 
 namespace {
+// Little-endian byte writes, batched (see txn/types.cc): one resize +
+// direct stores instead of per-byte push_back capacity checks.
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  for (int i = 0; i < 4; ++i) out[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  for (int i = 0; i < 8; ++i) out[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 bool get_u32(const std::vector<std::uint8_t>& b, std::size_t& o, std::uint32_t& v) {
   if (o + 4 > b.size()) return false;
@@ -50,15 +56,22 @@ bool get_u64(const std::vector<std::uint8_t>& b, std::size_t& o, std::uint64_t& 
 }  // namespace
 
 void encode_txn(const Transaction& txn, std::vector<std::uint8_t>& out) {
+  // Exact-size reserve + in-place op encoding: one allocation for a fresh
+  // payload, no temporary per participant.  The byte layout is unchanged
+  // (the per-participant length prefix is ops_wire_size, which is what the
+  // temporary's size used to be).
+  std::size_t total = out.size() + 8 + 1 + 4;
+  for (const Participant& p : txn.participants) {
+    total += 4 + 4 + ops_wire_size(p.ops);
+  }
+  out.reserve(total);
   put_u64(out, txn.id);
   out.push_back(static_cast<std::uint8_t>(txn.kind));
   put_u32(out, static_cast<std::uint32_t>(txn.participants.size()));
   for (const Participant& p : txn.participants) {
     put_u32(out, p.node.value());
-    std::vector<std::uint8_t> ops;
-    encode_ops(p.ops, ops);
-    put_u32(out, static_cast<std::uint32_t>(ops.size()));
-    out.insert(out.end(), ops.begin(), ops.end());
+    put_u32(out, static_cast<std::uint32_t>(ops_wire_size(p.ops)));
+    encode_ops(p.ops, out);
   }
 }
 

@@ -12,9 +12,13 @@ void NamespacePlanner::add_op(Transaction& txn, NodeId coordinator,
       txn.participants.begin(), txn.participants.end(),
       [node](const Participant& p) { return p.node == node; });
   if (it == txn.participants.end()) {
+    // Plans are 1-2 participants with 1-3 ops each; exact reserves keep a
+    // plan at one allocation per vector instead of doubling churn.
+    if (txn.participants.capacity() == 0) txn.participants.reserve(2);
     txn.participants.push_back(Participant{node, {}});
     it = std::prev(txn.participants.end());
   }
+  if (it->ops.capacity() == 0) it->ops.reserve(2);
   it->ops.push_back(std::move(op));
   // Keep the coordinator in front.
   auto c = std::find_if(

@@ -6,11 +6,18 @@ namespace {
 void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
   out.push_back(v);
 }
+// Little-endian byte writes, batched: one resize + direct stores instead of
+// per-byte push_back capacity checks (these sit under every log record and
+// message encode on the commit hot path).
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  for (int i = 0; i < 4; ++i) out[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  for (int i = 0; i < 8; ++i) out[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 bool get_u8(const std::vector<std::uint8_t>& b, std::size_t& o, std::uint8_t& v) {
   if (o + 1 > b.size()) return false;
@@ -58,8 +65,17 @@ const char* namespace_op_name(NamespaceOpKind k) {
   return "?";
 }
 
+std::size_t ops_wire_size(const std::vector<Operation>& ops) {
+  std::size_t size = 4;  // count
+  for (const Operation& op : ops) {
+    size += 1 + 8 + 8 + 4 + op.name.size() + 8 + 8;
+  }
+  return size;
+}
+
 void encode_ops(const std::vector<Operation>& ops,
                 std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + ops_wire_size(ops));
   put_u32(out, static_cast<std::uint32_t>(ops.size()));
   for (const Operation& op : ops) {
     put_u8(out, static_cast<std::uint8_t>(op.type));

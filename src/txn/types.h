@@ -69,6 +69,9 @@ struct Operation {
 
 /// Serializes operations into an opaque payload (for REDO log records and
 /// UPDATE_REQ messages).  Round-trips exactly; see tests/txn.
+/// encode_ops reserves the exact encoded size up front, so a fresh payload
+/// costs one allocation — these run per log record on the commit hot path.
+[[nodiscard]] std::size_t ops_wire_size(const std::vector<Operation>& ops);
 void encode_ops(const std::vector<Operation>& ops,
                 std::vector<std::uint8_t>& out);
 [[nodiscard]] bool decode_ops(const std::vector<std::uint8_t>& buf,

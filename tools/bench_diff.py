@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 0.30]
+                        [--alloc-threshold 0.50]
     tools/bench_diff.py --self-test
 
 Exit codes:
@@ -10,10 +11,15 @@ Exit codes:
     1  at least one bench regressed more than --threshold (fractional)
     2  malformed input / benches missing from either file
 
-The comparison is throughput-based (events_per_sec).  allocs_per_event is
-reported for context and checked only for gross regressions (a bench that
-was allocation-free going allocating), since it is the number the inline
-callback fast path is designed to hold at zero.
+Two gated metrics:
+
+  * events_per_sec — fails on a fractional drop beyond --threshold.
+  * allocs_per_event — fails on a fractional *increase* beyond
+    --alloc-threshold (when the baseline has a meaningful count), and on
+    an allocation-free bench (< 0.01 allocs/event) going allocating
+    (>= 1), regardless of threshold.  Allocation counts are deterministic
+    for these workloads, so the alloc gate can afford to be tighter than
+    the wall-clock one.
 
 Metrics present in the current run but absent from the baseline (a newly
 added counter, or an older baseline generated before the metric existed)
@@ -36,7 +42,7 @@ def load(path):
     return {b["name"]: b for b in doc.get("benches", [])}
 
 
-def diff(base, cur, threshold, out=sys.stdout):
+def diff(base, cur, threshold, alloc_threshold=0.50, out=sys.stdout):
     """Compares two {name: bench} maps; returns an exit code (0/1/2)."""
     def p(line=""):
         print(line, file=out)
@@ -72,14 +78,20 @@ def diff(base, cur, threshold, out=sys.stdout):
         if delta < -threshold:
             verdict = "  REGRESSION"
             failed = True
-        # A bench engineered to be allocation-free must stay that way: going
-        # from <0.01 to >=1 alloc/event is a fast-path break even if raw
-        # throughput on this runner absorbed it.  Only enforceable when both
-        # sides carry the metric.
-        if (b_allocs is not None and c_allocs is not None
-                and b_allocs < 0.01 and c_allocs >= 1.0):
-            verdict += "  ALLOC-REGRESSION"
-            failed = True
+        # Allocation gates (only enforceable when both sides carry the
+        # metric).  A bench engineered to be allocation-free must stay that
+        # way: going from <0.01 to >=1 alloc/event is a fast-path break even
+        # if raw throughput on this runner absorbed it.  A bench with a real
+        # baseline count must not grow it beyond --alloc-threshold —
+        # allocation counts are deterministic, so noise is no excuse.
+        if b_allocs is not None and c_allocs is not None:
+            if b_allocs < 0.01 and c_allocs >= 1.0:
+                verdict += "  ALLOC-REGRESSION"
+                failed = True
+            elif (b_allocs >= 0.01
+                  and c_allocs > b_allocs * (1.0 + alloc_threshold)):
+                verdict += "  ALLOC-REGRESSION"
+                failed = True
         p(f"{name:<34} {b_eps:>14.0f} {c_eps:>14.0f} {delta:>+7.1%} "
           f" {allocs:>18}{verdict}")
 
@@ -87,9 +99,9 @@ def diff(base, cur, threshold, out=sys.stdout):
     if extra:
         p(f"note: benches not in baseline (ignored): {extra}")
     if failed:
-        p(f"\nFAIL: throughput regressed more than "
-          f"{threshold:.0%} vs baseline "
-          f"(refresh the baseline only with a justified perf change)")
+        p(f"\nFAIL: regressed vs baseline (throughput budget {threshold:.0%},"
+          f" alloc budget {alloc_threshold:.0%}; refresh the baseline only"
+          f" with a justified perf change)")
         return 1
     p("\nOK: within regression budget")
     return 0
@@ -99,8 +111,8 @@ def self_test():
     """Exercises the comparison logic on synthetic inputs; exits 0/1."""
     import io
 
-    def run(base, cur, threshold=0.30):
-        return diff(base, cur, threshold, out=io.StringIO())
+    def run(base, cur, threshold=0.30, alloc_threshold=0.50):
+        return diff(base, cur, threshold, alloc_threshold, out=io.StringIO())
 
     bench = lambda eps, allocs=0.0: {  # noqa: E731 - test-local shorthand
         "events_per_sec": eps, "allocs_per_event": allocs}
@@ -126,6 +138,14 @@ def self_test():
          {"a": bench(100.0)}, {"a": {}}),
         ("zero baseline throughput cannot divide-by-zero", 0,
          {"a": bench(0.0)}, {"a": bench(0.0)}),
+        ("alloc growth beyond budget fails", 1,
+         {"a": bench(100.0, 8.0)}, {"a": bench(100.0, 13.0)}),
+        ("alloc growth within budget passes", 0,
+         {"a": bench(100.0, 8.0)}, {"a": bench(100.0, 11.0)}),
+        ("alloc improvement passes", 0,
+         {"a": bench(100.0, 28.8)}, {"a": bench(300.0, 8.4)}),
+        ("tiny baseline alloc count is not gated by the ratio rule", 0,
+         {"a": bench(100.0, 0.001)}, {"a": bench(100.0, 0.5)}),
     ]
     ok = True
     for desc, want, base, cur in cases:
@@ -144,6 +164,9 @@ def main():
     ap.add_argument("current", nargs="?")
     ap.add_argument("--threshold", type=float, default=0.30,
                     help="max allowed fractional throughput drop (default 0.30)")
+    ap.add_argument("--alloc-threshold", type=float, default=0.50,
+                    help="max allowed fractional allocs/event increase "
+                         "(default 0.50)")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in comparison-logic checks and exit")
     args = ap.parse_args()
@@ -153,7 +176,8 @@ def main():
     if not args.baseline or not args.current:
         ap.error("baseline and current are required (or use --self-test)")
 
-    rc = diff(load(args.baseline), load(args.current), args.threshold)
+    rc = diff(load(args.baseline), load(args.current), args.threshold,
+              args.alloc_threshold)
     if rc == 2:
         print(f"(current run: {args.current}, baseline: {args.baseline})")
     return rc
