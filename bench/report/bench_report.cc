@@ -1,5 +1,6 @@
 #include "report/bench_report.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -88,18 +89,26 @@ std::uint64_t cancel_churn_pass(int batch) {
 /// construction and the cold-start issue burst on every pass.
 class StormFixture {
  public:
-  explicit StormFixture(ProtocolKind proto)
-      : trace_(false), part_(2, NodeId(1)), planner_(part_, OpCosts{}) {
-    cc_.n_nodes = 2;
+  explicit StormFixture(ProtocolKind proto, std::uint32_t participants = 2)
+      : trace_(false), part_(std::max<std::uint32_t>(2, participants),
+                             NodeId(1)),
+        planner_(part_, OpCosts{}) {
+    cc_.n_nodes = std::max<std::uint32_t>(2, participants);
     cc_.protocol = proto;
     cluster_ = std::make_unique<Cluster>(sim_, cc_, stats_, trace_);
     dir_ = ids_.next();
     part_.assign(dir_, NodeId(0));
     cluster_->bootstrap_directory(dir_, NodeId(0));
     scfg_.concurrency = 100;
-    source_ = std::make_unique<CreateStormSource>(cluster_->env(), *cluster_,
-                                                  scfg_, meter_, stats_,
-                                                  planner_, ids_, dir_);
+    // participants == 2 keeps the legacy plan_create path; wider storms
+    // spread one create per worker node (same shape as run_create_storm).
+    std::vector<NodeId> spread;
+    for (std::uint32_t w = 1; participants > 2 && w < participants; ++w) {
+      spread.push_back(NodeId(w));
+    }
+    source_ = std::make_unique<CreateStormSource>(
+        cluster_->env(), *cluster_, scfg_, meter_, stats_, planner_, ids_,
+        dir_, "f", /*batch=*/1, std::move(spread));
     source_->start();
   }
 
@@ -212,11 +221,19 @@ std::vector<BenchSample> run_kernel_report(const ReportOptions& opt) {
   static constexpr struct {
     const char* name;
     ProtocolKind proto;
+    std::uint32_t participants;
   } kStorms[] = {
-      {"fig6_storm_prn", ProtocolKind::kPrN},
-      {"fig6_storm_prc", ProtocolKind::kPrC},
-      {"fig6_storm_ep", ProtocolKind::kEP},
-      {"fig6_storm_1pc", ProtocolKind::kOnePC},
+      {"fig6_storm_prn", ProtocolKind::kPrN, 2},
+      {"fig6_storm_prc", ProtocolKind::kPrC, 2},
+      {"fig6_storm_ep", ProtocolKind::kEP, 2},
+      {"fig6_storm_1pc", ProtocolKind::kOnePC, 2},
+      // 3-participant rows (ISSUE 10): one create spread across two worker
+      // MDSs, so the per-participant ACK/vote bookkeeping stays gated.  The
+      // 1PC row measures the presumed-abort degradation path.
+      {"fig6_storm_prn_3p", ProtocolKind::kPrN, 3},
+      {"fig6_storm_prc_3p", ProtocolKind::kPrC, 3},
+      {"fig6_storm_ep_3p", ProtocolKind::kEP, 3},
+      {"fig6_storm_1pc_3p", ProtocolKind::kOnePC, 3},
   };
   const Duration window = Duration::from_seconds_f(opt.smoke ? 0.05 : 1.0);
   // A storm directory only grows (creates, no deletes), and the flat dentry
@@ -227,13 +244,13 @@ std::vector<BenchSample> run_kernel_report(const ReportOptions& opt) {
   // alloc per event.
   constexpr int kRecycleWindows = 16;
   for (const auto& cfg : kStorms) {
-    auto fx = std::make_unique<StormFixture>(cfg.proto);
+    auto fx = std::make_unique<StormFixture>(cfg.proto, cfg.participants);
     int windows = 0;
     double sim_ops = 0;
     BenchSample storm =
         measure(cfg.name, opt.smoke, [&cfg, &fx, &windows, window, &sim_ops] {
           if (windows == kRecycleWindows) {
-            fx = std::make_unique<StormFixture>(cfg.proto);
+            fx = std::make_unique<StormFixture>(cfg.proto, cfg.participants);
             windows = 0;
           }
           ++windows;

@@ -210,6 +210,10 @@ TxnId AcpEngine::submit(Transaction txn, ClientCallback cb) {
   CoordTxn& ct = new_coord(id);
   ct.txn = std::move(txn);
   ct.proto = choose_protocol(proto_, ct.txn.n_participants());
+  if (ct.txn.n_participants() > 2) {
+    stats_.add("acp.txn.wide");
+    if (ct.proto != proto_) stats_.add("acp.onepc.degraded");
+  }
   ct.cb = std::move(cb);
   ct.submitted = env_.now();
   start_coordination(ct);
@@ -716,7 +720,7 @@ void AcpEngine::on_commit_durable(TxnId id) {
       m.type = MsgType::kAck;
       m.txn = id;
       m.proto = ct->proto;
-      send(ct->txn.worker(), std::move(m), /*extra=*/true,
+      send(ct->txn.sole_worker(), std::move(m), /*extra=*/true,
            /*critical=*/false);
       wal_.partition().truncate_txn(id);
       finish_coordination(id, TxnOutcome::kCommitted);
@@ -735,7 +739,10 @@ void AcpEngine::on_all_acked(TxnId id) {
       ct->aborting ? TxnOutcome::kAborted : TxnOutcome::kCommitted;
   // Finalize: the log can be checkpointed and garbage collected.  The ENDED
   // write is asynchronous but still precedes the PrN client reply, which is
-  // why Table I counts one async write on PrN's critical path.
+  // why Table I counts one async write on PrN's critical path.  The
+  // truncate below claims the still-buffered ENDED when it lands
+  // (LogPartition::append_durable), so the finalize marker never outlives
+  // the checkpoint it announces.
   wal_.lazy(ended_record(id, outcome),
             WriteTag{"ended", outcome == TxnOutcome::kCommitted});
   reply_client(*ct, outcome);
@@ -1316,7 +1323,9 @@ void AcpEngine::on_message(Envelope env) {
         }
         break;
       }
-      // 1PC worker receiving the coordinator's ACK.
+      // 1PC worker receiving the coordinator's ACK.  The truncate claims
+      // the lazily buffered ENDED when it becomes durable — see
+      // LogPartition::append_durable.
       if (WorkTxn* wt = work_of(m.txn);
           wt != nullptr && wt->phase == WorkPhase::kCommitted) {
         env_.cancel(wt->retry_timer);

@@ -207,7 +207,8 @@ void AcpEngine::recover_coordinator_txn(TxnId id,
         m.type = MsgType::kAck;
         m.txn = id;
         m.proto = proto;
-        send(txn.worker(), std::move(m), /*extra=*/true, /*critical=*/false);
+        send(txn.sole_worker(), std::move(m), /*extra=*/true,
+             /*critical=*/false);
         wal_.partition().truncate_txn(id);
         finished_[id] = TxnOutcome::kCommitted;
         return;
@@ -412,7 +413,7 @@ void AcpEngine::suspect(NodeId peer) {
   coord_.for_each([&](TxnId id, const CoordTxn* ct) {
     if (ct->proto == ProtocolKind::kOnePC &&
         ct->phase == CoordPhase::kUpdating && !ct->fencing &&
-        ct->txn.worker() == peer) {
+        ct->txn.sole_worker() == peer) {
       affected.push_back(id);
     }
   });
@@ -427,7 +428,8 @@ void AcpEngine::start_fencing_recovery(TxnId id) {
   ct->fencing = true;
   env_.cancel(ct->response_timer);
   ct->response_timer = TimerHandle{};
-  const NodeId worker = ct->txn.worker();
+  // choose_protocol keeps 1PC two-party, so the fence target is unique.
+  const NodeId worker = ct->txn.sole_worker();
   trace_.record(env_.now(), TraceKind::kRecoveryStep, self_.str(),
                 "fencing " + worker.str() + " to read its log", id);
 
@@ -621,6 +623,10 @@ void AcpEngine::maybe_finish_recovery() {
     CoordTxn& ct = new_coord(id);
     ct.txn = std::move(txn);
     ct.proto = choose_protocol(proto_, ct.txn.n_participants());
+    if (ct.txn.n_participants() > 2) {
+      stats_.add("acp.txn.wide");
+      if (ct.proto != proto_) stats_.add("acp.onepc.degraded");
+    }
     ct.cb = std::move(cb);
     ct.submitted = env_.now();
     start_coordination(ct);

@@ -38,14 +38,21 @@ inline constexpr ProtocolKind kAllProtocolsExt[] = {
     ProtocolKind::kPrN, ProtocolKind::kPrC, ProtocolKind::kEP,
     ProtocolKind::kOnePC, ProtocolKind::kPrA};
 
-/// Hybrid protocol selection (DESIGN.md): 1PC is defined for transactions
-/// with exactly one worker (CREATE/DELETE).  Anything wider — RENAME can
-/// touch four MDSs — falls back to PrN, the only member of the family whose
-/// recovery narrative the paper spells out for the general case.
+/// Hybrid protocol selection (DESIGN.md §14): 1PC is sound only for
+/// transactions with exactly one worker.  Each 1PC worker's forced
+/// update+COMMITTED block is an independent unilateral commit point; with
+/// two or more workers one can commit while another crashes pre-commit, and
+/// no single fence-and-read resolves the split — the shared-log rule holds
+/// only when every worker's commit point lands in one log partition, and in
+/// this deployment each node owns its own partition.  Anything wider — an
+/// N-way CREATE or a RENAME touching up to four MDSs — degrades to
+/// presumed-abort 2PC (PrA): absence of log state means abort, so the
+/// degraded path needs no abort record and no abort-ACK round, the cheapest
+/// member of the 2PC family on the paths a wide transaction adds.
 [[nodiscard]] constexpr ProtocolKind choose_protocol(ProtocolKind preferred,
                                                      std::size_t participants) {
   if (participants <= 2) return preferred;
-  return preferred == ProtocolKind::kOnePC ? ProtocolKind::kPrN : preferred;
+  return preferred == ProtocolKind::kOnePC ? ProtocolKind::kPrA : preferred;
 }
 
 }  // namespace opc

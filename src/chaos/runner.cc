@@ -70,7 +70,7 @@ ChaosRunResult run_schedule(const ChaosRunConfig& cfg,
   scfg.concurrency = cfg.concurrency;
   scfg.client_timeout = Duration::seconds(1);
   MixedSource source(cluster.env(), cluster, scfg, meter, stats, planner, ids, dirs,
-                     MixedSource::Mix{0.6, 0.25}, cfg.seed);
+                     MixedSource::Mix{0.6, 0.25}, cfg.seed, cfg.participants);
 
   Nemesis nemesis(sim, cluster, trace);
   nemesis.install(schedule);
@@ -162,6 +162,10 @@ std::string render_repro(const ChaosRunConfig& cfg,
   out += "seed=" + std::to_string(cfg.seed) + "\n";
   out += "concurrency=" + std::to_string(cfg.concurrency) + "\n";
   out += "dirs=" + std::to_string(cfg.n_dirs) + "\n";
+  // Emitted only for wide runs so pre-existing repro files stay byte-stable.
+  if (cfg.participants != 2) {
+    out += "participants=" + std::to_string(cfg.participants) + "\n";
+  }
   char buf[48];
   std::snprintf(buf, sizeof(buf), "run_ns=%" PRId64 "\n",
                 cfg.run_for.count_nanos());
@@ -201,6 +205,10 @@ bool parse_repro(const std::string& text, ChaosRunConfig& cfg,
       if (!end || *end != '\0') return false;
     } else if (key == "dirs") {
       cfg.n_dirs = static_cast<std::uint32_t>(
+          std::strtoul(val.c_str(), &end, 10));
+      if (!end || *end != '\0') return false;
+    } else if (key == "participants") {
+      cfg.participants = static_cast<std::uint32_t>(
           std::strtoul(val.c_str(), &end, 10));
       if (!end || *end != '\0') return false;
     } else if (key == "run_ns") {

@@ -25,6 +25,9 @@ struct ChaosRunConfig {
   std::uint64_t seed = 1;
   std::uint32_t concurrency = 6;
   std::uint32_t n_dirs = 4;
+  /// Participants per CREATE (2 = classic two-MDS; >2 spreads each create
+  /// over participants-1 distinct worker nodes).  Must be <= n_nodes.
+  std::uint32_t participants = 2;
   Duration run_for = Duration::seconds(8);  // fault + workload window
   /// TEST-ONLY: forwarded to AcpConfig::unsafe_skip_fencing, so the bug
   /// the fencing oracle exists to catch can be demonstrated on demand.

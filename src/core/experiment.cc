@@ -129,6 +129,18 @@ ExperimentResult run_create_storm(const ExperimentConfig& cfg) {
   Runner run(cfg);
   SIM_CHECK(cfg.cluster.n_nodes >= 2);
   SIM_CHECK(cfg.n_directories >= 1);
+  SIM_CHECK_MSG(cfg.participants >= 2 &&
+                    cfg.participants <= cfg.cluster.n_nodes,
+                "storm participants need distinct worker nodes");
+  // participants == 2 keeps the legacy plan_create path (and its byte
+  // streams) untouched; wider storms spread one create per worker node.
+  std::vector<NodeId> spread;
+  if (cfg.participants > 2) {
+    spread.reserve(cfg.participants - 1);
+    for (std::uint32_t w = 1; w < cfg.participants; ++w) {
+      spread.push_back(NodeId(w));
+    }
+  }
   IdAllocator ids;
   // Hot directories on mds0, every new inode on mds1: all creates
   // distributed, all coordinated by mds0.
@@ -150,7 +162,7 @@ ExperimentResult run_create_storm(const ExperimentConfig& cfg) {
     sources.push_back(std::make_unique<CreateStormSource>(
         run.cluster_->env(), *run.cluster_, per_source, run.meter_,
         run.stats_, planner,
-        ids, dirs[d], "d" + std::to_string(d) + "_"));
+        ids, dirs[d], "d" + std::to_string(d) + "_", /*batch=*/1, spread));
   }
   run.install_fault_injector();
   for (auto& s : sources) s->start();

@@ -31,6 +31,14 @@ struct ExperimentConfig {
   /// directory gets its own closed-loop source with concurrency/n clients).
   std::uint32_t n_directories = 1;
 
+  /// Participants per storm transaction.  2 = the paper's two-MDS create;
+  /// >2 widens every submission to one create per worker node (nodes
+  /// 1..participants-1), so each transaction spans the coordinator plus
+  /// participants-1 distinct inode servers.  Requires participants <=
+  /// cluster.n_nodes.  Note 1PC degrades wider-than-two-party transactions
+  /// to presumed-abort (src/acp/protocol.h).
+  std::uint32_t participants = 2;
+
   /// Fault injection (ablation E): crash a node every `crash_period`
   /// (0 = never), alternating worker/coordinator per the flags.
   Duration crash_period = Duration::zero();

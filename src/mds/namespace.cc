@@ -124,6 +124,31 @@ Transaction NamespacePlanner::plan_create_batch(
   return txn;
 }
 
+Transaction NamespacePlanner::plan_create_spread(
+    ObjectId parent_dir,
+    const std::vector<std::pair<std::string, ObjectId>>& entries,
+    const std::vector<NodeId>& homes) {
+  SIM_CHECK(parent_dir.valid() && !entries.empty());
+  SIM_CHECK_MSG(entries.size() == homes.size(),
+                "one explicit home per entry");
+  const NodeId coord = part_.home_of(parent_dir);
+  Transaction txn;
+  txn.kind = NamespaceOpKind::kCreate;
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    const auto& [name, inode] = entries[k];
+    add_op(txn, coord, coord,
+           Operation{OpType::kAddDentry, parent_dir, inode, name,
+                     costs_.dentry_log_bytes, costs_.method_compute});
+    add_op(txn, coord, homes[k],
+           Operation{OpType::kCreateInode, inode, kNoObject, "",
+                     costs_.inode_log_bytes, costs_.method_compute});
+    add_op(txn, coord, homes[k],
+           Operation{OpType::kIncLink, inode, kNoObject, "",
+                     /*log_bytes=*/0, costs_.method_compute});
+  }
+  return txn;
+}
+
 Transaction NamespacePlanner::plan_stat(ObjectId inode) {
   SIM_CHECK(inode.valid());
   const NodeId coord = part_.home_of(inode);

@@ -84,6 +84,19 @@ class NamespacePlanner {
       const std::vector<std::pair<std::string, ObjectId>>& entries,
       std::uint64_t hint = 0);
 
+  /// N-participant CREATE: entry k is created in `parent_dir` with its
+  /// inode hosted at `homes[k]` (explicit placement, bypassing the
+  /// partitioner's place_child).  With the homes spread over k distinct
+  /// non-coordinator nodes this yields a 1+k-participant transaction — the
+  /// generator for N-way storms.  Per-entry op shapes match plan_create
+  /// exactly (AddDentry at the coordinator; CreateInode + IncLink at the
+  /// child's home), so every inode ends up referenced by exactly nlink
+  /// dentries and the namespace invariant checker stays clean.
+  [[nodiscard]] Transaction plan_create_spread(
+      ObjectId parent_dir,
+      const std::vector<std::pair<std::string, ObjectId>>& entries,
+      const std::vector<NodeId>& homes);
+
   [[nodiscard]] Partitioner& partitioner() { return part_; }
   [[nodiscard]] const OpCosts& costs() const { return costs_; }
 

@@ -126,6 +126,14 @@ std::uint64_t RpcClient::send_create(std::uint64_t dir, std::string_view name,
   return id;
 }
 
+std::uint64_t RpcClient::send_create_spread(std::uint64_t dir,
+                                            std::string_view name,
+                                            std::uint8_t width) {
+  const std::uint64_t id = next_id_++;
+  encode_create_spread(wr_, id, dir, name, width);
+  return id;
+}
+
 std::uint64_t RpcClient::send_remove(std::uint64_t dir,
                                      std::string_view name) {
   const std::uint64_t id = next_id_++;

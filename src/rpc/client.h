@@ -51,6 +51,10 @@ class RpcClient {
   std::uint64_t send_ping();
   std::uint64_t send_create(std::uint64_t dir, std::string_view name,
                             bool is_dir = false);
+  /// One transaction creating `name` plus width-2 siblings, each inode on a
+  /// distinct non-coordinator node (width >= 3; see wire.h kCreateSpread).
+  std::uint64_t send_create_spread(std::uint64_t dir, std::string_view name,
+                                   std::uint8_t width);
   std::uint64_t send_remove(std::uint64_t dir, std::string_view name);
   std::uint64_t send_rename(std::uint64_t src_dir, std::string_view src_name,
                             std::uint64_t dst_dir, std::string_view dst_name);

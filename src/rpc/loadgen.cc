@@ -137,16 +137,23 @@ void worker(const LoadgenConfig& cfg, std::uint32_t t, double start,
     PendingReq pr;
     pr.scheduled = scheduled;
     pr.dir = dir;
+    const auto send_one_create = [&](bool is_dir) {
+      if (!is_dir && cfg.participants > 2) {
+        return client.send_create_spread(
+            dir, pr.name, static_cast<std::uint8_t>(cfg.participants));
+      }
+      return client.send_create(dir, pr.name, is_dir);
+    };
     if (u < w_create || u < w_mkdir) {
       pr.op = u < w_create ? Op::kCreate : Op::kMkdir;
       pr.name = "t" + std::to_string(t) + "_" + std::to_string(seq++);
-      id = client.send_create(dir, pr.name, pr.op == Op::kMkdir);
+      id = send_one_create(pr.op == Op::kMkdir);
     } else {
       auto& names = confirmed[dir];
       if (names.empty()) {  // nothing to rename here yet: create instead
         pr.op = Op::kCreate;
         pr.name = "t" + std::to_string(t) + "_" + std::to_string(seq++);
-        id = client.send_create(dir, pr.name, false);
+        id = send_one_create(false);
       } else {
         pr.op = Op::kRename;
         const std::string src = std::move(names.back());
@@ -187,6 +194,7 @@ LoadgenResult run_loadgen(const LoadgenConfig& cfg) {
   if (c.threads == 0) c.threads = 1;
   if (c.rate <= 0.0) c.rate = 1.0;
   if (c.n_dirs == 0) c.n_dirs = 1;
+  if (c.participants < 2) c.participants = 2;
 
   std::vector<ThreadResult> slices(c.threads);
   const double start = wall_now() + 0.05;  // common epoch for all threads

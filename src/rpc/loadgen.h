@@ -35,6 +35,12 @@ struct LoadgenConfig {
   std::uint32_t n_dirs = 3;  // request dirs 1..n_dirs (must be bootstrapped)
   double zipf_s = 0.0;       // directory skew exponent; 0 = uniform
 
+  /// Participants per create transaction.  2 sends classic kCreate; >2
+  /// sends kCreateSpread so the server plans one atomic create spanning
+  /// participants MDSs (must be <= the server's cluster size, else the
+  /// server answers BadRequest).  Mkdirs and renames are unaffected.
+  std::uint32_t participants = 2;
+
   // Op mix weights (normalized internally).
   double create_weight = 0.8;
   double mkdir_weight = 0.1;

@@ -425,7 +425,8 @@ void RpcServer::handle_request(const ConnPtr& c, const Request& req) {
 
   const bool rename = req.op == MsgType::kRename;
   if (req.dir == 0 || req.name.empty() || (rename && req.dir2 == 0) ||
-      (rename && req.name2.empty())) {
+      (rename && req.name2.empty()) ||
+      (req.op == MsgType::kCreateSpread && req.width > cluster_.size())) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     replies_.fetch_add(1, std::memory_order_relaxed);
     reply_now(c, req.id, Status::kBadRequest);
@@ -461,16 +462,16 @@ void RpcServer::handle_request(const ConnPtr& c, const Request& req) {
   cluster_.env().post(
       worker, [this, c, op = req.op, dir = req.dir, dir2 = req.dir2,
                name = std::string(req.name), name2 = std::string(req.name2),
-               id = req.id]() mutable {
+               id = req.id, width = req.width]() mutable {
         submit_on_worker(c, op, dir, dir2, std::move(name), std::move(name2),
-                         id);
+                         id, width);
       });
 }
 
 void RpcServer::submit_on_worker(const ConnPtr& c, MsgType op,
                                  std::uint64_t dir, std::uint64_t dir2,
                                  std::string name, std::string name2,
-                                 std::uint64_t id) {
+                                 std::uint64_t id, std::uint8_t width) {
   const NodeId self = part_.home_of(ObjectId(dir));
   MdsNode& node = cluster_.node(self);
 
@@ -483,6 +484,34 @@ void RpcServer::submit_on_worker(const ConnPtr& c, MsgType op,
       txn = planner_.plan_create(ObjectId(dir), name, ObjectId(created),
                                  /*is_dir=*/op == MsgType::kMkdir,
                                  /*hint=*/id);
+      break;
+    }
+    case MsgType::kCreateSpread: {
+      // One width-participant transaction: the named file plus width-2
+      // siblings on the width-1 nodes following the coordinator on the
+      // ring.  A block of cluster_size() consecutive ids covers every ring
+      // position exactly once, so each wanted home resolves to one id in
+      // the block by arithmetic; the block's unused ids are never minted.
+      const std::uint32_t n = cluster_.size();
+      const std::uint64_t block =
+          next_inode_.fetch_add(n, std::memory_order_relaxed);
+      std::vector<std::pair<std::string, ObjectId>> entries;
+      std::vector<NodeId> homes;
+      entries.reserve(width - 1u);
+      homes.reserve(width - 1u);
+      for (std::uint8_t k = 1; k < width; ++k) {
+        const NodeId want((self.value() + k) % n);
+        // home_of(v) == want  <=>  (v - base) % n == (want + n - 1) % n.
+        const std::uint64_t residue = (want.value() + n - 1u) % n;
+        const std::uint64_t off = (block - part_.inode_base()) % n;
+        const std::uint64_t inode = block + (residue + n - off) % n;
+        entries.emplace_back(
+            k == 1 ? name : name + ".s" + std::to_string(k - 1),
+            ObjectId(inode));
+        homes.push_back(want);
+        if (k == 1) created = inode;
+      }
+      txn = planner_.plan_create_spread(ObjectId(dir), entries, homes);
       break;
     }
     case MsgType::kRemove: {

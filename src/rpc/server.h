@@ -139,7 +139,8 @@ class RpcServer {
   /// Engine-side half: plan + submit on the coordinator's worker thread.
   void submit_on_worker(const ConnPtr& c, MsgType op, std::uint64_t dir,
                         std::uint64_t dir2, std::string name,
-                        std::string name2, std::uint64_t id);
+                        std::string name2, std::uint64_t id,
+                        std::uint8_t width);
   void complete(const ConnPtr& c, std::uint64_t id, Status st,
                 std::uint64_t inode);
   /// Direct reply from the event loop (never entered `pending`).

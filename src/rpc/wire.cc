@@ -87,6 +87,15 @@ void encode_create(WireBuf& out, std::uint64_t id, std::uint64_t dir,
   end_frame(out, at);
 }
 
+void encode_create_spread(WireBuf& out, std::uint64_t id, std::uint64_t dir,
+                          std::string_view name, std::uint8_t width) {
+  const std::size_t at = begin_frame(out, MsgType::kCreateSpread, id);
+  out.bytes.push_back(width);
+  put_u64(out.bytes, dir);
+  put_name(out, name);
+  end_frame(out, at);
+}
+
 void encode_remove(WireBuf& out, std::uint64_t id, std::uint64_t dir,
                    std::string_view name) {
   const std::size_t at = begin_frame(out, MsgType::kRemove, id);
@@ -205,6 +214,19 @@ Decoded decode_frame(const std::uint8_t* data, std::size_t len) {
       const std::uint16_t sn = c.u16();
       const std::uint16_t dn = c.u16();
       d.request = {type, id, src, dst, c.str(sn), c.str(dn)};
+      break;
+    }
+    case MsgType::kCreateSpread: {
+      const std::uint8_t width = c.u8();
+      const std::uint64_t dir = c.u64();
+      const std::uint16_t n = c.u16();
+      d.request = {type, id, dir, 0, c.str(n), {}, width};
+      // width <= 2 is a protocol violation (width 2 is spelled kCreate);
+      // a peer that sends it disagrees with us about the format.
+      if (width < 3) {
+        d.status = DecodeStatus::kCorrupt;
+        return d;
+      }
       break;
     }
     case MsgType::kReply: {

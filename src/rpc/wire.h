@@ -37,6 +37,11 @@ enum class MsgType : std::uint8_t {
   kRemove = 4,  // u64 dir, u16 name_len, name       (server resolves inode)
   kRename = 5,  // u64 src_dir, u64 dst_dir, u16 src_len, u16 dst_len,
                 // src_name, dst_name                (server resolves inode)
+  kCreateSpread = 6,  // u8 width, u64 dir, u16 name_len, name
+                      // One atomic transaction spanning `width` MDSs: the
+                      // named file plus width-2 siblings (name.s1, ...),
+                      // each inode on a distinct non-coordinator node.
+                      // width must be >= 3 (width 2 is just kCreate).
   kReply = 64,  // u8 status, u64 inode (0 when not applicable)
 };
 
@@ -61,6 +66,7 @@ struct Request {
   std::uint64_t dir2 = 0;      // rename: destination directory
   std::string_view name;       // create/mkdir/remove: entry; rename: source
   std::string_view name2;      // rename: destination entry
+  std::uint8_t width = 0;      // create-spread: participants (>= 3)
 };
 
 struct Reply {
@@ -100,6 +106,8 @@ struct WireBuf {
 void encode_ping(WireBuf& out, std::uint64_t id);
 void encode_create(WireBuf& out, std::uint64_t id, std::uint64_t dir,
                    std::string_view name, bool is_dir);
+void encode_create_spread(WireBuf& out, std::uint64_t id, std::uint64_t dir,
+                          std::string_view name, std::uint8_t width);
 void encode_remove(WireBuf& out, std::uint64_t id, std::uint64_t dir,
                    std::string_view name);
 void encode_rename(WireBuf& out, std::uint64_t id, std::uint64_t src_dir,

@@ -106,8 +106,18 @@ struct Transaction {
   [[nodiscard]] NodeId coordinator() const {
     return participants.empty() ? kNoNode : participants.front().node;
   }
-  /// The single worker of a two-party transaction (the 1PC case).
-  [[nodiscard]] NodeId worker() const {
+  /// Indexed participant view: participant(0) is the coordinator,
+  /// participant(1..n_workers()) are the workers.
+  [[nodiscard]] const Participant& participant(std::size_t i) const {
+    return participants[i];
+  }
+  [[nodiscard]] std::size_t n_workers() const {
+    return participants.empty() ? 0 : participants.size() - 1;
+  }
+  /// The sole worker of a two-party transaction.  1PC's unilateral worker
+  /// commit and its fence-and-read recovery rule are defined only for this
+  /// shape (choose_protocol degrades wider transactions); kNoNode otherwise.
+  [[nodiscard]] NodeId sole_worker() const {
     return participants.size() == 2 ? participants[1].node : kNoNode;
   }
   [[nodiscard]] bool is_local() const { return participants.size() <= 1; }

@@ -20,8 +20,26 @@ bool is_state_record(RecordType t) {
 
 }  // namespace
 
+void LogPartition::append_durable(std::vector<LogRecord>& recs) {
+  for (auto& r : recs) {
+    if (r.type == RecordType::kEnded && !txn_counts_.contains(r.txn)) {
+      // Claimed by an earlier truncate_txn: the transaction is already
+      // checkpointed, so the finalize marker has nothing left to finalize.
+      ++claimed_ended_;
+      continue;
+    }
+    ++txn_counts_[r.txn];
+    modeled_bytes_ += r.modeled_bytes;
+    records_.push_back(std::move(r));
+  }
+  recs.clear();
+}
+
 std::vector<LogRecord> LogPartition::records_for(std::uint64_t txn) const {
   std::vector<LogRecord> out;
+  const auto it = txn_counts_.find(txn);
+  if (it == txn_counts_.end()) return out;
+  out.reserve(it->second);
   for (const auto& r : records_) {
     if (r.txn == txn) out.push_back(r);
   }
@@ -30,6 +48,7 @@ std::vector<LogRecord> LogPartition::records_for(std::uint64_t txn) const {
 
 std::optional<RecordType> LogPartition::last_state_for(
     std::uint64_t txn) const {
+  if (!txn_counts_.contains(txn)) return std::nullopt;
   std::optional<RecordType> last;
   for (const auto& r : records_) {
     if (r.txn == txn && is_state_record(r.type)) last = r.type;
@@ -38,6 +57,7 @@ std::optional<RecordType> LogPartition::last_state_for(
 }
 
 bool LogPartition::has_record(std::uint64_t txn, RecordType t) const {
+  if (!txn_counts_.contains(txn)) return false;
   return std::any_of(records_.begin(), records_.end(), [&](const LogRecord& r) {
     return r.txn == txn && r.type == t;
   });
@@ -54,13 +74,14 @@ std::vector<std::uint64_t> LogPartition::live_transactions() const {
 }
 
 void LogPartition::truncate_txn(std::uint64_t txn) {
-  std::erase_if(records_, [txn](const LogRecord& r) { return r.txn == txn; });
-}
-
-std::uint64_t LogPartition::modeled_size() const {
-  std::uint64_t sum = 0;
-  for (const auto& r : records_) sum += r.modeled_bytes;
-  return sum;
+  const auto it = txn_counts_.find(txn);
+  if (it == txn_counts_.end()) return;  // nothing durable: O(1) no-op
+  txn_counts_.erase(it);
+  std::erase_if(records_, [&](const LogRecord& r) {
+    if (r.txn != txn) return false;
+    modeled_bytes_ -= r.modeled_bytes;
+    return true;
+  });
 }
 
 LogPartition& SharedStorage::add_partition(NodeId node, DiskConfig disk_cfg) {

@@ -9,6 +9,18 @@
 //
 // Durability rule: a record is in `records()` iff the disk completion for
 // the write that carried it fired before any crash/fence cancelled it.
+//
+// N-participant recovery rule (DESIGN.md §14): 1PC recovery works by
+// fencing the worker and reading its partition — sound because a two-party
+// transaction has exactly one unilateral commit point, the worker's forced
+// update+COMMITTED block, and that block lives in exactly one partition.
+// The rule generalizes only to workers whose commit points share a log
+// partition (co-located logs): one fence + one scan then still yields an
+// atomic snapshot of every commit point.  In this deployment each node owns
+// its own partition, so co-location never holds for distinct workers and
+// choose_protocol() degrades wider transactions to presumed-abort 2PC,
+// whose recovery needs no foreign reads at all — absence of log state on
+// any participant means abort.
 #pragma once
 
 #include <cstdint>
@@ -42,10 +54,16 @@ class LogPartition {
 
   /// Appends records that have just become durable.  The vector is drained
   /// but keeps its capacity, so callers can recycle the shell.
-  void append_durable(std::vector<LogRecord>& recs) {
-    for (auto& r : recs) records_.push_back(std::move(r));
-    recs.clear();
-  }
+  ///
+  /// One exception: an ENDED record for a transaction the owner already
+  /// checkpointed (truncate_txn ran first) is *claimed* instead of stored.
+  /// The engine's finalize paths write ENDED lazily and truncate in the
+  /// same event, so the ENDED always lands after the truncate; storing it
+  /// would leak one record per transaction forever and make truncate_txn
+  /// quadratic over a long storm (ROADMAP, found in PR 9).  Recovery
+  /// already treats the resulting empty log correctly — it is the same
+  /// state a crash before the lazy flush leaves behind.
+  void append_durable(std::vector<LogRecord>& recs);
   void append_durable(std::vector<LogRecord>&& recs) { append_durable(recs); }
 
   [[nodiscard]] const std::vector<LogRecord>& records() const {
@@ -69,18 +87,29 @@ class LogPartition {
   /// in first-appearance order — the recovery scan's work list.
   [[nodiscard]] std::vector<std::uint64_t> live_transactions() const;
 
-  /// Checkpoint + garbage collect: drops all records of `txn`.
+  /// Checkpoint + garbage collect: drops all records of `txn`.  O(1) when
+  /// the transaction has no durable records (the per-txn index answers
+  /// that without scanning), O(live log) otherwise — and the claimed-ENDED
+  /// rule keeps the live log bounded by in-flight transactions.
   void truncate_txn(std::uint64_t txn);
 
   /// Sum of modeled bytes currently in the partition (drives foreign-read
-  /// scan timing).
-  [[nodiscard]] std::uint64_t modeled_size() const;
+  /// scan timing).  Maintained incrementally.
+  [[nodiscard]] std::uint64_t modeled_size() const { return modeled_bytes_; }
+
+  /// Count of ENDED records claimed by an earlier truncate instead of
+  /// stored (leak regression tests pin records() bounded via this).
+  [[nodiscard]] std::uint64_t claimed_ended() const { return claimed_ended_; }
 
  private:
   NodeId owner_;
   Disk device_;
   bool fenced_ = false;
   std::vector<LogRecord> records_;
+  // Live durable record count per transaction: the truncate/lookup index.
+  std::unordered_map<std::uint64_t, std::uint32_t> txn_counts_;
+  std::uint64_t modeled_bytes_ = 0;
+  std::uint64_t claimed_ended_ = 0;
 };
 
 /// The central storage device: all partitions plus fencing.

@@ -92,6 +92,15 @@ void ClosedLoopSource::complete(const Transaction& txn, TxnOutcome outcome,
 // ---------------------------------------------------------------------------
 
 bool CreateStormSource::make_txn(Transaction& out, bool /*retry*/) {
+  if (!spread_.empty()) {
+    std::vector<std::pair<std::string, ObjectId>> entries;
+    entries.reserve(spread_.size());
+    for (std::size_t i = 0; i < spread_.size(); ++i) {
+      entries.emplace_back(prefix_ + std::to_string(counter_++), ids_.next());
+    }
+    out = planner_.plan_create_spread(dir_, entries, spread_);
+    return true;
+  }
   if (batch_ <= 1) {
     const std::string name = prefix_ + std::to_string(counter_++);
     out = planner_.plan_create(dir_, name, ids_.next(), /*is_dir=*/false,
@@ -154,11 +163,14 @@ MixedSource::MixedSource(Env& env, Cluster& cluster, SourceConfig cfg,
                          ThroughputMeter& meter, StatsRegistry& stats,
                          NamespacePlanner& planner, IdAllocator& ids,
                          std::vector<ObjectId> directories, Mix mix,
-                         std::uint64_t seed)
+                         std::uint64_t seed, std::uint32_t participants)
     : ClosedLoopSource(env, cluster, cfg, meter, stats), planner_(planner),
       ids_(ids), dirs_(std::move(directories)), mix_(mix),
-      rng_(seed, /*stream=*/0x3157) {
+      rng_(seed, /*stream=*/0x3157), participants_(participants) {
   SIM_CHECK(!dirs_.empty());
+  SIM_CHECK_MSG(participants_ >= 2 &&
+                    participants_ <= planner_.partitioner().cluster_size(),
+                "wide creates need distinct worker nodes");
 }
 
 bool MixedSource::make_txn(Transaction& out, bool /*retry*/) {
@@ -190,6 +202,28 @@ bool MixedSource::make_txn(Transaction& out, bool /*retry*/) {
     // No eligible file yet; fall through to a create.
   }
   const ObjectId dir = dirs_[rng_.index(dirs_.size())];
+  if (participants_ > 2) {
+    // One create per worker node, workers walking the ring from the
+    // coordinator.  Each inode id is drawn until the (stateless) hash
+    // partitioner maps it to the intended home, so the explicit spread
+    // placement and every later home_of() lookup agree.
+    Partitioner& part = planner_.partitioner();
+    const NodeId coord = part.home_of(dir);
+    const std::uint32_t n = part.cluster_size();
+    std::vector<std::pair<std::string, ObjectId>> entries;
+    std::vector<NodeId> homes;
+    entries.reserve(participants_ - 1);
+    homes.reserve(participants_ - 1);
+    for (std::uint32_t w = 1; w < participants_; ++w) {
+      const NodeId want((coord.value() + w) % n);
+      ObjectId inode = ids_.next();
+      while (part.home_of(inode) != want) inode = ids_.next();
+      entries.emplace_back("m" + std::to_string(counter_++), inode);
+      homes.push_back(want);
+    }
+    out = planner_.plan_create_spread(dir, entries, homes);
+    return true;
+  }
   const std::uint64_t seq = counter_++;
   out = planner_.plan_create(dir, "m" + std::to_string(seq), ids_.next(),
                              /*is_dir=*/false, seq);
@@ -215,7 +249,15 @@ void MixedSource::on_outcome(const Transaction& txn, TxnOutcome outcome) {
   switch (txn.kind) {
     case NamespaceOpKind::kCreate:
       SIM_CHECK(add != nullptr);
-      files_.push_back(FileRef{add->target, add->name, add->child});
+      // Wide creates carry one AddDentry per spread entry; record them all
+      // so every created file is a DELETE/RENAME candidate.
+      for (const Participant& p : txn.participants) {
+        for (const Operation& o : p.ops) {
+          if (o.type == OpType::kAddDentry) {
+            files_.push_back(FileRef{o.target, o.name, o.child});
+          }
+        }
+      }
       break;
     case NamespaceOpKind::kDelete: {
       SIM_CHECK(remove != nullptr);

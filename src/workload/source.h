@@ -18,6 +18,7 @@
 #include "cluster/cluster.h"
 #include "core/flat.h"
 #include "mds/namespace.h"
+#include "sim/check.h"
 #include "stats/meter.h"
 
 namespace opc {
@@ -105,17 +106,23 @@ class ClosedLoopSource {
 
 /// The paper's Figure 6 workload: an HPC application creating many files in
 /// one (hot) directory, with every create a two-MDS distributed
-/// transaction.
+/// transaction.  A non-empty `spread` widens each transaction to
+/// 1+spread.size() participants: every submission creates one file per
+/// listed node, with that node hosting the inode (explicit placement,
+/// bypassing the partitioner) — the N-participant storm shape.
 class CreateStormSource final : public ClosedLoopSource {
  public:
   CreateStormSource(Env& env, Cluster& cluster, SourceConfig cfg,
                     ThroughputMeter& meter, StatsRegistry& stats,
                     NamespacePlanner& planner, IdAllocator& ids,
                     ObjectId directory, std::string name_prefix = "f",
-                    std::uint32_t batch = 1)
+                    std::uint32_t batch = 1, std::vector<NodeId> spread = {})
       : ClosedLoopSource(env, cluster, cfg, meter, stats), planner_(planner),
         ids_(ids), dir_(directory), prefix_(std::move(name_prefix)),
-        batch_(batch) {}
+        batch_(batch), spread_(std::move(spread)) {
+    SIM_CHECK_MSG(spread_.empty() || batch_ <= 1,
+                  "spread and batch are alternative wide-txn shapes");
+  }
 
  protected:
   bool make_txn(Transaction& out, bool retry) override;
@@ -126,6 +133,7 @@ class CreateStormSource final : public ClosedLoopSource {
   ObjectId dir_;
   std::string prefix_;
   std::uint32_t batch_;
+  std::vector<NodeId> spread_;
   std::uint64_t counter_ = 0;
 };
 
@@ -169,7 +177,11 @@ class OpenLoopCreateSource {
 
 /// Mixed namespace workload over a set of directories: CREATE / DELETE /
 /// RENAME with configurable ratios.  RENAME can touch up to four MDSs,
-/// exercising the hybrid 1PC -> PrN fallback.
+/// exercising the hybrid 1PC -> PrN fallback.  `participants` > 2 widens
+/// every CREATE to one file per worker node (participants-1 distinct
+/// non-coordinator homes); inode ids are drawn until the hash partitioner
+/// agrees with the explicit placement, so later DELETE/RENAME plans find
+/// the inode where it actually lives.
 class MixedSource final : public ClosedLoopSource {
  public:
   struct Mix {
@@ -180,7 +192,8 @@ class MixedSource final : public ClosedLoopSource {
   MixedSource(Env& env, Cluster& cluster, SourceConfig cfg,
               ThroughputMeter& meter, StatsRegistry& stats,
               NamespacePlanner& planner, IdAllocator& ids,
-              std::vector<ObjectId> directories, Mix mix, std::uint64_t seed);
+              std::vector<ObjectId> directories, Mix mix, std::uint64_t seed,
+              std::uint32_t participants = 2);
 
  protected:
   bool make_txn(Transaction& out, bool retry) override;
@@ -199,6 +212,7 @@ class MixedSource final : public ClosedLoopSource {
   std::vector<ObjectId> dirs_;
   Mix mix_;
   Rng rng_;
+  std::uint32_t participants_;
   std::vector<FileRef> files_;            // committed, not in flight
   FlatSet<std::uint64_t> busy_inodes_;
   std::uint64_t counter_ = 0;

@@ -50,7 +50,8 @@ TEST(CliSmoke, HelpDocumentsSharedFlags) {
   EXPECT_EQ(r.exit_code, 0);
   // The shared flag layer (tools/cli_flags.h) must be surfaced for the
   // verbs that use it, with the common spellings present.
-  for (const char* flag : {"--protocol", "--seed", "--duration", "--report"}) {
+  for (const char* flag :
+       {"--protocol", "--seed", "--duration", "--report", "--participants"}) {
     EXPECT_NE(r.output.find(flag), std::string::npos)
         << "shared flag " << flag << " missing from help";
   }
@@ -70,6 +71,23 @@ TEST(CliSmoke, UnknownSubcommandExitsNonzero) {
 TEST(CliSmoke, BadFlagValueExitsNonzero) {
   const RunResult r = run("storm --duration banana");
   EXPECT_NE(r.exit_code, 0) << r.output;
+}
+
+TEST(CliSmoke, ParticipantsOutOfRangeRejected) {
+  // One spelling, one validator (tools/cli_flags.h parse_participants).
+  const RunResult low = run("storm --participants 1 --duration 250ms");
+  EXPECT_EQ(low.exit_code, 2) << low.output;
+  EXPECT_NE(low.output.find("--participants"), std::string::npos);
+  const RunResult high = run("chaos --participants 65 --schedules 1");
+  EXPECT_EQ(high.exit_code, 2) << high.output;
+}
+
+TEST(CliSmoke, WideStormRunsAndRaisesNodes) {
+  // --participants 3 with the default --nodes 2 must auto-raise the
+  // cluster instead of tripping the experiment's SIM_CHECK.
+  const RunResult r =
+      run("storm --protocol prn --participants 3 --duration 250ms");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
 TEST(CliSmoke, DurationSpellingsParse) {

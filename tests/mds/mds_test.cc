@@ -149,7 +149,7 @@ TEST(PlannerTest, CreateSplitsAcrossTwoNodes) {
       planner.plan_create(ObjectId(1), "f", ObjectId(2), false);
   ASSERT_EQ(txn.n_participants(), 2u);
   EXPECT_EQ(txn.coordinator(), NodeId(0));
-  EXPECT_EQ(txn.worker(), NodeId(1));
+  EXPECT_EQ(txn.sole_worker(), NodeId(1));
   ASSERT_EQ(txn.participants[0].ops.size(), 1u);
   EXPECT_EQ(txn.participants[0].ops[0].type, OpType::kAddDentry);
   ASSERT_EQ(txn.participants[1].ops.size(), 2u);
@@ -191,6 +191,43 @@ TEST(PlannerTest, BatchCreateSharesOneTransaction) {
   ASSERT_EQ(txn.n_participants(), 2u);
   EXPECT_EQ(txn.participants[0].ops.size(), 3u);  // 3 dentries
   EXPECT_EQ(txn.participants[1].ops.size(), 6u);  // 3 x (create + inclink)
+}
+
+TEST(PlannerTest, SpreadCreateSpansNParticipants) {
+  PinnedPartitioner part(4, NodeId(1));
+  part.assign(ObjectId(1), NodeId(0));
+  NamespacePlanner planner(part, OpCosts{});
+  const Transaction txn = planner.plan_create_spread(
+      ObjectId(1),
+      {{"a", ObjectId(2)}, {"b", ObjectId(3)}, {"c", ObjectId(4)}},
+      {NodeId(1), NodeId(2), NodeId(3)});
+  ASSERT_EQ(txn.n_participants(), 4u);
+  EXPECT_EQ(txn.coordinator(), NodeId(0));
+  EXPECT_EQ(txn.sole_worker(), kNoNode);
+  // Coordinator holds the three dentries; each worker creates one inode.
+  EXPECT_EQ(txn.participants[0].ops.size(), 3u);
+  for (std::size_t w = 1; w < 4; ++w) {
+    ASSERT_EQ(txn.participant(w).ops.size(), 2u);
+    EXPECT_EQ(txn.participant(w).ops[0].type, OpType::kCreateInode);
+    EXPECT_EQ(txn.participant(w).ops[1].type, OpType::kIncLink);
+  }
+  EXPECT_EQ(txn.participant(2).node, NodeId(2));
+  EXPECT_EQ(txn.participant(2).ops[0].target, ObjectId(3));
+}
+
+TEST(PlannerTest, SpreadCreateWithSingleOffHomeEntryMatchesPlanCreate) {
+  PinnedPartitioner part(2, NodeId(1));
+  part.assign(ObjectId(1), NodeId(0));
+  NamespacePlanner planner(part, OpCosts{});
+  const Transaction classic =
+      planner.plan_create(ObjectId(1), "f", ObjectId(2), false);
+  const Transaction spread = planner.plan_create_spread(
+      ObjectId(1), {{"f", ObjectId(2)}}, {NodeId(1)});
+  ASSERT_EQ(spread.n_participants(), classic.n_participants());
+  for (std::size_t i = 0; i < classic.participants.size(); ++i) {
+    EXPECT_EQ(spread.participants[i].node, classic.participants[i].node);
+    EXPECT_EQ(spread.participants[i].ops, classic.participants[i].ops);
+  }
 }
 
 TEST(PartitionerTest, HashIsDeterministicAndBalanced) {

@@ -55,6 +55,42 @@ TEST(RpcCodec, RenameRoundTrip) {
   EXPECT_EQ(d.request.name2, "new_name");
 }
 
+TEST(RpcCodec, CreateSpreadRoundTrip) {
+  WireBuf b;
+  encode_create_spread(b, /*id=*/55, /*dir=*/3, "wide.txt", /*width=*/5);
+  const Decoded d = decode_frame(b.bytes.data(), b.bytes.size());
+  ASSERT_EQ(d.status, DecodeStatus::kRequest);
+  EXPECT_EQ(d.consumed, b.bytes.size());
+  EXPECT_EQ(d.request.op, MsgType::kCreateSpread);
+  EXPECT_EQ(d.request.id, 55u);
+  EXPECT_EQ(d.request.dir, 3u);
+  EXPECT_EQ(d.request.name, "wide.txt");
+  EXPECT_EQ(d.request.width, 5);
+}
+
+TEST(RpcCodec, CreateSpreadBelowMinimumWidthIsCorrupt) {
+  // Width 2 is spelled kCreate; a spread frame claiming fewer than 3
+  // participants means the peer disagrees about the format, which is a
+  // codec-level rejection, not a semantic kBadRequest.
+  for (std::uint8_t w : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{2}}) {
+    WireBuf b;
+    encode_create_spread(b, 1, 1, "x", w);
+    EXPECT_EQ(decode_frame(b.bytes.data(), b.bytes.size()).status,
+              DecodeStatus::kCorrupt)
+        << "width " << int(w);
+  }
+}
+
+TEST(RpcCodec, CreateSpreadEveryTruncationPointIsNeedMore) {
+  WireBuf b;
+  encode_create_spread(b, 88, 2, "truncated_spread_name", 3);
+  for (std::size_t len = 0; len < b.bytes.size(); ++len) {
+    const Decoded d = decode_frame(b.bytes.data(), len);
+    EXPECT_EQ(d.status, DecodeStatus::kNeedMore) << "prefix length " << len;
+    EXPECT_EQ(d.consumed, 0u);
+  }
+}
+
 TEST(RpcCodec, PingAndEmptyNameSurvive) {
   WireBuf b;
   encode_ping(b, 5);
@@ -198,6 +234,7 @@ TEST(RpcCodec, ByteFlipFuzz) {
   WireBuf b;
   encode_rename(b, 991, 3, "fuzz_src", 1, "fuzz_dst");
   encode_create(b, 992, 2, "fuzz_file", false);
+  encode_create_spread(b, 993, 1, "fuzz_spread", 4);
   Rng rng(20260807, 0);
   for (int iter = 0; iter < 5000; ++iter) {
     std::vector<std::uint8_t> f = b.bytes;

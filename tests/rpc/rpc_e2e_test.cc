@@ -90,5 +90,82 @@ TEST(RpcE2E, TenThousandOpsOverUdsZeroLost) {
   EXPECT_EQ(dentries, kOps);
 }
 
+// Wide creates over the wire (ISSUE 10): kCreateSpread requests plan one
+// atomic create spanning `width` MDSs.  Every reply commits, the namespace
+// stays invariant-clean with width-1 entries per request (primary name plus
+// .sK siblings), and a width beyond the cluster is answered kBadRequest
+// without disturbing the connection.
+TEST(RpcE2E, SpreadCreatesCommitAtomicallyAcrossThreeNodes) {
+  constexpr std::uint32_t kNodes = 3;
+  constexpr std::uint64_t kOps = 500;
+  constexpr std::uint8_t kWidth = 3;
+
+  RtClusterConfig cfg;
+  cfg.n_nodes = kNodes;
+  cfg.protocol = ProtocolKind::kOnePC;  // degrades wide txns to PrA
+  cfg.net.latency = Duration::zero();
+  cfg.disk.bytes_per_second = 2.0 * 1024 * 1024 * 1024;
+  cfg.seed = 20260807;
+  RtCluster cluster(cfg);
+  std::vector<ObjectId> dirs;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    dirs.push_back(ObjectId(i + 1));
+    cluster.bootstrap_directory(ObjectId(i + 1), NodeId(i));
+  }
+
+  RpcServerConfig scfg;
+  scfg.uds_path =
+      "/tmp/opc-e2e-spread-" + std::to_string(::getpid()) + ".sock";
+  RpcServer server(cluster, scfg);
+  ASSERT_TRUE(server.start());
+
+  RpcClient client;
+  ASSERT_TRUE(client.connect_uds(scfg.uds_path));
+
+  std::uint64_t ok = 0, failed = 0;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    client.send_create_spread(i % kNodes + 1, "w" + std::to_string(i),
+                              kWidth);
+    ASSERT_TRUE(client.flush(60.0)) << client.error();
+    if (client.outstanding() >= 64) {
+      Reply r;
+      ASSERT_TRUE(client.recv_reply(r, 60.0)) << client.error();
+      r.status == Status::kOk ? ++ok : ++failed;
+    }
+  }
+  while (ok + failed < kOps) {
+    Reply r;
+    ASSERT_TRUE(client.recv_reply(r, 60.0)) << client.error();
+    r.status == Status::kOk ? ++ok : ++failed;
+  }
+  EXPECT_EQ(ok, kOps);
+  EXPECT_EQ(failed, 0u);
+
+  // Width beyond the cluster: semantic rejection, connection stays usable.
+  client.send_create_spread(1, "too_wide", kNodes + 1);
+  ASSERT_TRUE(client.flush(60.0)) << client.error();
+  Reply bad;
+  ASSERT_TRUE(client.recv_reply(bad, 60.0)) << client.error();
+  EXPECT_EQ(bad.status, Status::kBadRequest);
+  client.send_create(1, "still_alive", false);
+  ASSERT_TRUE(client.flush(60.0)) << client.error();
+  Reply alive;
+  ASSERT_TRUE(client.recv_reply(alive, 60.0)) << client.error();
+  EXPECT_EQ(alive.status, Status::kOk);
+
+  server.stop();
+  cluster.env().wait_idle();
+
+  EXPECT_TRUE(cluster.check_invariants(dirs).empty());
+  std::uint64_t dentries = 0;
+  for (const MetaStore* s : cluster.stores()) {
+    dentries += s->stable_dentry_count();
+  }
+  // Atomicity at the namespace level: all width-1 entries of each wide
+  // create landed (plus the one recovery probe above) — never a partial
+  // subset.
+  EXPECT_EQ(dentries, kOps * (kWidth - 1) + 1);
+}
+
 }  // namespace
 }  // namespace opc::rpc

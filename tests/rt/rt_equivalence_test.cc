@@ -113,14 +113,15 @@ Outcome run_on_rt(ProtocolKind proto, const StormPlan& plan) {
   return out;
 }
 
-void expect_equivalent(ProtocolKind proto) {
-  const StormPlan plan = make_storm_plan(kNodes, kOpsPerNode);
+void expect_equivalent(ProtocolKind proto, std::uint32_t nodes = kNodes,
+                       std::uint32_t participants = 2) {
+  const StormPlan plan = make_storm_plan(nodes, kOpsPerNode, participants);
   const Outcome sim = run_on_sim(proto, plan);
   const Outcome rt = run_on_rt(proto, plan);
 
   // Every planned create commits exactly once on both backends.
   const std::uint64_t expected =
-      static_cast<std::uint64_t>(kNodes) * kOpsPerNode;
+      static_cast<std::uint64_t>(nodes) * kOpsPerNode;
   EXPECT_EQ(sim.committed, expected);
   EXPECT_EQ(rt.committed, sim.committed);
   EXPECT_EQ(sim.aborted, 0u);
@@ -152,6 +153,27 @@ TEST(RtEquivalenceTest, EarlyPrepare) {
 
 TEST(RtEquivalenceTest, OnePhaseCommit) {
   expect_equivalent(ProtocolKind::kOnePC);
+}
+
+// Three-participant storms (ISSUE 10): every transaction spans the
+// coordinator plus two distinct worker nodes on a 3-node cluster.  Same
+// contract — identical totals and an identical stable namespace across the
+// two backends.  1PC is the interesting case: every wide submission takes
+// the presumed-abort degrade path (src/acp/protocol.h) on both backends.
+TEST(RtEquivalenceTest, PresumedNothingThreeParticipants) {
+  expect_equivalent(ProtocolKind::kPrN, /*nodes=*/3, /*participants=*/3);
+}
+
+TEST(RtEquivalenceTest, PresumedCommitThreeParticipants) {
+  expect_equivalent(ProtocolKind::kPrC, /*nodes=*/3, /*participants=*/3);
+}
+
+TEST(RtEquivalenceTest, EarlyPrepareThreeParticipants) {
+  expect_equivalent(ProtocolKind::kEP, /*nodes=*/3, /*participants=*/3);
+}
+
+TEST(RtEquivalenceTest, OnePhaseCommitThreeParticipants) {
+  expect_equivalent(ProtocolKind::kOnePC, /*nodes=*/3, /*participants=*/3);
 }
 
 }  // namespace

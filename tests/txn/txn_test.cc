@@ -82,17 +82,83 @@ TEST(TxnCodec, RoundTripsParticipants) {
   EXPECT_EQ(got.participants[1].ops, txn.participants[1].ops);
 }
 
+TEST(TxnCodec, RoundTripsManyParticipants) {
+  // N-participant shares (ISSUE 10): one coordinator plus 4 workers, each
+  // carrying its own op list, survive the codec byte-exactly.
+  Transaction txn;
+  txn.id = 31337;
+  txn.kind = NamespaceOpKind::kCreate;
+  txn.participants.push_back(
+      Participant{NodeId(0), {make_op(OpType::kAddDentry, 1, "w0", 10),
+                              make_op(OpType::kAddDentry, 1, "w1", 11)}});
+  for (std::uint32_t w = 1; w <= 4; ++w) {
+    txn.participants.push_back(
+        Participant{NodeId(w), {make_op(OpType::kCreateInode, 9 + w),
+                                make_op(OpType::kIncLink, 9 + w)}});
+  }
+  std::vector<std::uint8_t> buf;
+  encode_txn(txn, buf);
+  Transaction got;
+  ASSERT_TRUE(decode_txn(buf, got));
+  ASSERT_EQ(got.participants.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(got.participants[i].node, txn.participants[i].node) << i;
+    EXPECT_EQ(got.participants[i].ops, txn.participants[i].ops) << i;
+  }
+}
+
+TEST(TxnCodec, RejectsTruncatedParticipantList) {
+  // The header promises 3 participants; cut the buffer inside the second
+  // and third shares at every byte boundary — each cut must be rejected,
+  // never decoded into a shorter (and silently wrong) participant list.
+  Transaction txn;
+  txn.id = 5;
+  txn.kind = NamespaceOpKind::kCreate;
+  for (std::uint32_t n = 0; n < 3; ++n) {
+    txn.participants.push_back(
+        Participant{NodeId(n), {make_op(OpType::kCreateInode, 20 + n)}});
+  }
+  std::vector<std::uint8_t> full;
+  encode_txn(txn, full);
+  std::vector<std::uint8_t> one_share;
+  encode_txn(Transaction{txn.id, txn.kind, {txn.participants[0]}}, one_share);
+  for (std::size_t len = one_share.size(); len < full.size(); ++len) {
+    std::vector<std::uint8_t> cut(full.begin(),
+                                  full.begin() + static_cast<long>(len));
+    Transaction got;
+    EXPECT_FALSE(decode_txn(cut, got)) << "prefix length " << len;
+  }
+}
+
 TEST(TransactionTest, Accessors) {
   Transaction txn;
   EXPECT_TRUE(txn.is_local());
   EXPECT_EQ(txn.coordinator(), kNoNode);
+  EXPECT_EQ(txn.n_workers(), 0u);
   txn.participants.push_back(Participant{NodeId(3), {}});
   EXPECT_TRUE(txn.is_local());
   EXPECT_EQ(txn.coordinator(), NodeId(3));
-  EXPECT_EQ(txn.worker(), kNoNode);
+  EXPECT_EQ(txn.n_workers(), 0u);
+  EXPECT_EQ(txn.sole_worker(), kNoNode);
   txn.participants.push_back(Participant{NodeId(1), {}});
   EXPECT_FALSE(txn.is_local());
-  EXPECT_EQ(txn.worker(), NodeId(1));
+  EXPECT_EQ(txn.n_workers(), 1u);
+  EXPECT_EQ(txn.sole_worker(), NodeId(1));
+  EXPECT_EQ(txn.participant(0).node, NodeId(3));
+  EXPECT_EQ(txn.participant(1).node, NodeId(1));
+}
+
+TEST(TransactionTest, WideTransactionHasNoSoleWorker) {
+  Transaction txn;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    txn.participants.push_back(Participant{NodeId(n), {}});
+  }
+  EXPECT_EQ(txn.n_participants(), 4u);
+  EXPECT_EQ(txn.n_workers(), 3u);
+  // The sole-worker view is a two-party notion; wider transactions must be
+  // addressed through participant(i), and 1PC must never see one.
+  EXPECT_EQ(txn.sole_worker(), kNoNode);
+  EXPECT_EQ(txn.participant(3).node, NodeId(3));
 }
 
 TEST(TransactionTest, ObjectsAtDeduplicates) {

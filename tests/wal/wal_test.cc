@@ -3,7 +3,11 @@
 // commit.
 #include <gtest/gtest.h>
 
+#include <functional>
+
+#include "cluster/cluster.h"
 #include "env/sim_env.h"
+#include "mds/namespace.h"
 #include "wal/log_writer.h"
 #include "wal/partition.h"
 #include "wal/record.h"
@@ -149,20 +153,22 @@ TEST(LogWriterTest, CrashLosesLazyBuffer) {
 
 TEST(LogWriterTest, LazyBecomesDurableViaBackgroundFlush) {
   WalFixture f;
-  f.writer->lazy(make_rec(RecordType::kEnded, 1), {"e", false});
+  // PrC's worker COMMITTED is the canonical lazy state record.  (A lone
+  // lazy ENDED would be claimed at append — see the partition tests.)
+  f.writer->lazy(make_rec(RecordType::kCommitted, 1), {"c", false});
   f.sim.run();
   ASSERT_EQ(f.part->records().size(), 1u);
-  EXPECT_EQ(f.part->records()[0].type, RecordType::kEnded);
+  EXPECT_EQ(f.part->records()[0].type, RecordType::kCommitted);
 }
 
 TEST(LogWriterTest, LazyPiggybacksOnNextForce) {
   WalFixture f;
-  f.writer->lazy(make_rec(RecordType::kEnded, 1), {"e", false});
+  f.writer->lazy(make_rec(RecordType::kCommitted, 1), {"c", false});
   f.writer->force({make_rec(RecordType::kStarted, 2)}, {"s", true}, [] {});
   f.sim.run();
   ASSERT_EQ(f.part->records().size(), 2u);
   // Lazy record rides in front (it was logically written first).
-  EXPECT_EQ(f.part->records()[0].type, RecordType::kEnded);
+  EXPECT_EQ(f.part->records()[0].type, RecordType::kCommitted);
   EXPECT_EQ(f.part->records()[1].type, RecordType::kStarted);
   EXPECT_EQ(f.stats.get("wal.force.count"), 1);
 }
@@ -246,6 +252,45 @@ TEST(PartitionTest, UpdateRecordsDoNotCountAsState) {
   EXPECT_FALSE(f.part->last_state_for(1).has_value());
 }
 
+TEST(PartitionTest, TruncateClaimsLateEnded) {
+  WalFixture f;
+  f.part->append_durable({make_rec(RecordType::kStarted, 1),
+                          make_rec(RecordType::kCommitted, 1)});
+  f.part->truncate_txn(1);
+  EXPECT_TRUE(f.part->records().empty());
+  // The engine's finalize paths write ENDED lazily and truncate in the same
+  // event, so the ENDED always lands after the checkpoint.  Storing it
+  // would leak one record per transaction (ROADMAP, PR 9); the truncate
+  // claims it instead.
+  f.part->append_durable({make_rec(RecordType::kEnded, 1)});
+  EXPECT_TRUE(f.part->records().empty());
+  EXPECT_EQ(f.part->claimed_ended(), 1u);
+  EXPECT_EQ(f.part->modeled_size(), 0u);
+}
+
+TEST(PartitionTest, EndedWithLiveRecordsIsStored) {
+  WalFixture f;
+  // An ENDED whose transaction still has durable records is a real state
+  // transition (crash window before the checkpoint): it must persist.
+  f.part->append_durable({make_rec(RecordType::kStarted, 2)});
+  f.part->append_durable({make_rec(RecordType::kEnded, 2)});
+  EXPECT_EQ(f.part->records().size(), 2u);
+  EXPECT_EQ(f.part->last_state_for(2), RecordType::kEnded);
+  EXPECT_EQ(f.part->claimed_ended(), 0u);
+}
+
+TEST(PartitionTest, TruncateIsNoOpForUnknownTxn) {
+  WalFixture f;
+  f.part->append_durable({make_rec(RecordType::kStarted, 1, 512)});
+  const std::uint64_t before = f.part->modeled_size();
+  f.part->truncate_txn(99);  // indexed: answered without scanning the log
+  EXPECT_EQ(f.part->records().size(), 1u);
+  EXPECT_EQ(f.part->modeled_size(), before);
+  f.part->truncate_txn(1);
+  EXPECT_TRUE(f.part->records().empty());
+  EXPECT_EQ(f.part->modeled_size(), 0u);
+}
+
 TEST(SharedStorageTest, ForeignReadReturnsSnapshotAfterScanDelay) {
   WalFixture f;
   DiskConfig dc;
@@ -284,6 +329,62 @@ TEST(SharedStorageTest, UnfenceRestoresWrites) {
                   [&] { durable = true; });
   f.sim.run();
   EXPECT_TRUE(durable);
+}
+
+// The ENDED-leak regression (found in PR 9): before the claim-at-append
+// rule, every finished 1PC transaction left one lazy kEnded record in the
+// coordinator's partition forever, so records_ grew linearly with the storm
+// and truncate_txn went quadratic.  A long storm must now leave every
+// partition's live log bounded by the in-flight window, independent of how
+// many transactions committed.
+TEST(PartitionLeakRegression, HundredSecondStormLeavesLiveLogBounded) {
+  Simulator sim;
+  StatsRegistry stats;
+  TraceRecorder trace(false);
+  ClusterConfig cc;
+  cc.n_nodes = 2;
+  cc.protocol = ProtocolKind::kOnePC;
+  Cluster cluster(sim, cc, stats, trace);
+
+  IdAllocator ids;
+  PinnedPartitioner part(2, NodeId(1));
+  NamespacePlanner planner(part, OpCosts{});
+  const ObjectId dir = ids.next();
+  part.assign(dir, NodeId(0));
+  cluster.bootstrap_directory(dir, NodeId(0));
+
+  constexpr std::uint32_t kClients = 16;
+  const SimTime end = SimTime::zero() + Duration::seconds(100);
+  std::uint64_t committed = 0;
+  std::uint64_t seq = 0;
+  // Closed loop: each completion resubmits until the window closes.
+  std::function<void()> pump = [&] {
+    if (sim.now() >= end) return;
+    cluster.submit(
+        planner.plan_create(dir, "f" + std::to_string(seq++), ids.next(),
+                            /*is_dir=*/false),
+        [&](TxnId, TxnOutcome o) {
+          if (o == TxnOutcome::kCommitted) ++committed;
+          pump();
+        });
+  };
+  for (std::uint32_t i = 0; i < kClients; ++i) pump();
+  sim.run_until(end + Duration::seconds(30));  // window + drain
+
+  ASSERT_GT(committed, 1000u) << "storm too small to expose a leak";
+  for (std::uint32_t n = 0; n < 2; ++n) {
+    const LogPartition& p = cluster.storage().partition(NodeId(n));
+    // Bounded by in-flight transactions, not by `committed` — a handful of
+    // records per outstanding client is the generous ceiling.
+    EXPECT_LE(p.records().size(), 8u * kClients)
+        << "node " << n << " live log grows with the storm";
+  }
+  // The bound is real work, not vacuity: somebody claimed one lazy ENDED
+  // per finished transaction instead of storing it (in 1PC that is the
+  // worker, whose finalize writes ENDED lazily after truncating).
+  EXPECT_GE(cluster.storage().partition(NodeId(0)).claimed_ended() +
+                cluster.storage().partition(NodeId(1)).claimed_ended(),
+            committed);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -112,16 +113,33 @@ inline bool parse_duration(const std::string& s, Duration& out) {
   return true;
 }
 
+/// Participants per transaction, one spelling for every traffic verb
+/// (storm/rtstorm/chaos/loadgen): `--participants N`, N in [2, 64].
+/// 2 is the paper's two-MDS transaction; wider values spread each create
+/// over N-1 distinct worker nodes (and 1PC degrades to presumed-abort,
+/// src/acp/protocol.h).
+inline bool parse_participants(const Args& a, std::uint32_t& out) {
+  const std::int64_t v = a.num("participants", 2);
+  if (v < 2 || v > 64) {
+    std::fprintf(stderr, "--participants must be in [2, 64]\n");
+    return false;
+  }
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
 /// Flags every traffic verb shares.  `--protocol` and `--proto` are
 /// synonyms everywhere; `--duration 10s` and the legacy `--seconds 10`
 /// both feed `duration`; `--report FILE` (legacy `--json FILE` where it
-/// existed) names a RunReport JSON output.
+/// existed) names a RunReport JSON output; `--participants N` widens every
+/// transaction (see parse_participants).
 struct CommonFlags {
   std::vector<ProtocolKind> protocols;
   std::uint64_t seed = 1;
   Duration duration = Duration::zero();
   std::string report;
   bool csv = false;
+  std::uint32_t participants = 2;
 };
 
 inline bool parse_common(const Args& a, const char* default_proto,
@@ -145,7 +163,7 @@ inline bool parse_common(const Args& a, const char* default_proto,
   }
   out.report = a.str("report", a.str("json", ""));
   out.csv = a.flag("csv");
-  return true;
+  return parse_participants(a, out.participants);
 }
 
 }  // namespace opc::cli

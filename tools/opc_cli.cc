@@ -51,6 +51,12 @@ ExperimentConfig config_from_args(const Args& a, const CommonFlags& cf,
                                   ProtocolKind proto) {
   ExperimentConfig cfg = paper_fig6_config(proto);
   cfg.cluster.n_nodes = static_cast<std::uint32_t>(a.num("nodes", 2));
+  cfg.participants = cf.participants;
+  // Wide txns need one distinct worker node per participant; raise the
+  // cluster rather than failing so `--participants 3` works bare.
+  if (cfg.cluster.n_nodes < cf.participants) {
+    cfg.cluster.n_nodes = cf.participants;
+  }
   cfg.cluster.net.latency = Duration::micros(a.num("net-latency-us", 100));
   cfg.cluster.disk.bytes_per_second = a.real("disk-bw", 400.0 * 1024.0);
   cfg.cluster.wal.force_pad_to =
@@ -267,6 +273,12 @@ int cmd_chaos(const Args& a) {
   ExplorerConfig cfg;
   cfg.base.protocol = protos[0];
   cfg.base.n_nodes = static_cast<std::uint32_t>(a.num("nodes", 3));
+  if (!cli::parse_participants(a, cfg.base.participants)) return 2;
+  // Each participant occupies a distinct MDS; raise the cluster rather
+  // than failing so `--participants 5` works without --nodes.
+  if (cfg.base.n_nodes < cfg.base.participants) {
+    cfg.base.n_nodes = cfg.base.participants;
+  }
   cfg.base.concurrency = static_cast<std::uint32_t>(a.num("concurrency", 6));
   cfg.base.n_dirs = static_cast<std::uint32_t>(a.num("dirs", 4));
   cfg.base.run_for = Duration::seconds(a.num("seconds", 8));
@@ -514,6 +526,7 @@ int cmd_rtstorm(const Args& a) {
 
   RtClusterConfig base;
   base.n_nodes = static_cast<std::uint32_t>(a.num("nodes", 2));
+  if (base.n_nodes < cf.participants) base.n_nodes = cf.participants;
   base.seed = cf.seed;
   base.net.latency = Duration::micros(a.num("net-latency-us", 100));
   // Real seconds, not simulated ones: default to a device fast enough that
@@ -539,7 +552,7 @@ int cmd_rtstorm(const Args& a) {
   for (ProtocolKind p : cf.protocols) {
     RtClusterConfig cfg = base;
     cfg.protocol = p;
-    const StormPlan plan = make_storm_plan(cfg.n_nodes, ops);
+    const StormPlan plan = make_storm_plan(cfg.n_nodes, ops, cf.participants);
     RtCluster cluster(cfg);
     const RtCluster::StormResult res =
         cluster.run_storm(plan, concurrency, max_wall);
@@ -717,6 +730,7 @@ int cmd_loadgen(const Args& a) {
   lc.seed = cf.seed;
   lc.n_dirs = static_cast<std::uint32_t>(a.num("dirs", 3));
   lc.zipf_s = a.real("zipf", 0.0);
+  lc.participants = cf.participants;
   lc.create_weight = a.real("creates", 0.8);
   lc.mkdir_weight = a.real("mkdirs", 0.1);
   lc.rename_weight = a.real("renames", 0.1);
@@ -881,6 +895,9 @@ int cmd_help(const Args&) {
       "  --duration 10s     run window (10s, 500ms, ...; or --seconds N)\n"
       "  --report FILE      write the run's RunReport JSON\n"
       "  --csv              machine-readable output\n"
+      "  --participants 2   MDSs per transaction (storm/rtstorm/chaos/\n"
+      "                     loadgen; >2 spreads each create over N-1\n"
+      "                     workers and 1PC degrades to pra)\n"
       "\n"
       "storm/mixed/sweep flags (with defaults):\n"
       "  --nodes 2          metadata servers\n"
@@ -919,12 +936,14 @@ int cmd_help(const Args&) {
       "  --zipf 0           directory skew exponent (0 = uniform)\n"
       "  --creates 0.8 --mkdirs 0.1 --renames 0.1   op mix\n"
       "  --max-p99-ms 0     fail the run above this p99 (0 = off)\n"
+      "  --participants 2   >2 sends wide creates (<= server --nodes)\n"
       "\n"
       "chaos flags (with defaults):\n"
       "  --protocol 1pc     one protocol per exploration\n"
       "  --schedules 100    random fault schedules to explore\n"
       "  --seed 42          master seed (equal seeds => identical output)\n"
       "  --max-faults 4     faults per random schedule\n"
+      "  --participants 2   MDSs per transaction (raises --nodes if needed)\n"
       "  --systematic       also enumerate trace-keyed crash points\n"
       "  --seconds 8        workload window per schedule\n"
       "  --bug              inject the skip-fencing bug (oracle demo)\n"
